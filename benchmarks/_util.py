@@ -1,0 +1,40 @@
+"""Shared plumbing for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset byte-scale (default 1.0 = the paper's
+  700 MB file; request counts are scale-invariant);
+* ``REPRO_BENCH_REPS`` — repetitions per campaign cell (default 2; the
+  paper averaged 576 HammerCloud runs).
+
+Every benchmark prints its paper-vs-measured table (visible with
+``pytest -s``) and appends it to ``benchmarks/results/<name>.txt`` so
+the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.bench import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def emit(name: str, title: str, headers, rows, note=None) -> str:
+    """Render, print, and persist one results table."""
+    table = render_table(title, headers, rows, note)
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")
+    return table

@@ -1,0 +1,120 @@
+"""ABL-TLS — the TLS costs behind the paper's SPDY rejection.
+
+Section 2.2: SPDY "explicitly enforces the usage of SSL/TLS ... TLS
+introduces a negative performance impact for big data transfers and
+introduces a handshake latency that can not be mandatory in High
+performance computing." This bench measures both claims against the
+model:
+
+* handshake latency: first-request cost over https vs http per RTT;
+* bulk-transfer impact: 200 MB GET throughput with record-layer crypto.
+"""
+
+from repro.concurrency import SimRuntime
+from repro.concurrency.tlsmodel import TlsPolicy
+from repro.core import DavixClient, RequestParams
+from repro.net import LinkSpec, Network
+from repro.server import (
+    HttpServer,
+    ObjectStore,
+    ServerConfig,
+    StorageApp,
+    ZeroContent,
+)
+from repro.sim import Environment
+
+from _util import emit
+
+BULK = 200_000_000
+POLICY = TlsPolicy()  # 2 ms handshake CPU/side, 200 MB/s crypto
+
+
+def build(scheme, latency, bandwidth=125_000_000):
+    env = Environment()
+    net = Network(env, seed=31)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route(
+        "client", "server", LinkSpec(latency=latency, bandwidth=bandwidth)
+    )
+    tls = POLICY if scheme == "https" else None
+    store = ObjectStore()
+    store.put("/tiny", b"x" * 100)
+    store.put("/bulk", ZeroContent(BULK))
+    HttpServer(
+        SimRuntime(net, "server"),
+        StorageApp(store, config=ServerConfig(tls=tls)),
+        port=443 if scheme == "https" else 80,
+    ).start()
+    client = DavixClient(
+        SimRuntime(net, "client"), params=RequestParams(tls=POLICY)
+    )
+    return client
+
+
+def first_request_time(scheme, latency):
+    client = build(scheme, latency)
+    start = client.runtime.now()
+    client.get(f"{scheme}://server/tiny")
+    return client.runtime.now() - start
+
+
+def bulk_throughput(scheme):
+    client = build(scheme, latency=0.001)
+    start = client.runtime.now()
+    client.get(f"{scheme}://server/bulk")
+    return BULK / (client.runtime.now() - start) / 1e6
+
+
+def test_ablation_tls(benchmark):
+    rtts = (0.001, 0.02, 0.15)
+
+    def run():
+        out = {"handshake": {}, "bulk": {}}
+        for latency in rtts:
+            out["handshake"][latency] = (
+                first_request_time("http", latency),
+                first_request_time("https", latency),
+            )
+        out["bulk"]["http"] = bulk_throughput("http")
+        out["bulk"]["https"] = bulk_throughput("https")
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for latency in rtts:
+        plain, tls = results["handshake"][latency]
+        rows.append(
+            [f"{2 * latency * 1000:.0f} ms RTT", plain, tls, tls - plain]
+        )
+    rows.append(
+        [
+            "bulk 200 MB (MB/s)",
+            results["bulk"]["http"],
+            results["bulk"]["https"],
+            results["bulk"]["http"] - results["bulk"]["https"],
+        ]
+    )
+    emit(
+        "ablation_tls",
+        "ABL-TLS: https vs http — first-request latency (s) and bulk "
+        "throughput",
+        ["case", "http", "https", "delta"],
+        rows,
+        note=(
+            "handshake adds ~2 RTT + 4 ms CPU; record crypto caps bulk "
+            "throughput at the crypto bandwidth"
+        ),
+    )
+
+    # Handshake delta grows with RTT (~2 RTTs).
+    deltas = [
+        results["handshake"][latency][1]
+        - results["handshake"][latency][0]
+        for latency in rtts
+    ]
+    assert deltas[2] > deltas[1] > deltas[0]
+    assert deltas[2] > 0.5  # ~2 x 300 ms RTT
+    # Bulk transfer pays a visible throughput penalty.
+    assert results["bulk"]["https"] < results["bulk"]["http"] * 0.85

@@ -1,0 +1,75 @@
+"""FIG4 — the paper's headline result (Figure 4).
+
+Regenerates: execution time of the ROOT analysis job reading 100 % of
+~12 000 events from the ~700 MB tree, davix/HTTP vs XRootD, over the
+LAN / GEANT / WAN profiles. Paper values: see
+:data:`repro.bench.figures.PAPER_FIG4`.
+
+Shape requirements: parity (±2 %) on LAN and GEANT; XRootD ~10–25 %
+faster on the WAN (paper: 17.5 %).
+"""
+
+from repro.bench import PAPER_FIG4
+from repro.net.profiles import GEANT, LAN, WAN
+from repro.rootio.generator import paper_dataset
+from repro.workloads import AnalysisConfig, Campaign
+
+from _util import bench_reps, bench_scale, emit
+
+
+def test_fig4_execution_time(benchmark):
+    spec = paper_dataset(scale=bench_scale())
+    campaign = Campaign(
+        spec=spec,
+        config=AnalysisConfig(),
+        repetitions=bench_reps(),
+        base_seed=42,
+    )
+
+    def run():
+        return campaign.run_matrix([LAN, GEANT, WAN])
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for profile in (LAN, GEANT, WAN):
+        for protocol in ("davix", "xrootd"):
+            cell = results[(protocol, profile.name)]
+            paper = PAPER_FIG4[(protocol, profile.name)]
+            rows.append(
+                [
+                    profile.label,
+                    "HTTP" if protocol == "davix" else "XRootD",
+                    cell.mean,
+                    cell.stdev,
+                    paper,
+                    cell.mean / paper,
+                ]
+            )
+    emit(
+        "fig4_execution_time",
+        "FIG4: ROOT analysis job, 100% of events (seconds, less is better)",
+        ["link", "protocol", "measured", "stdev", "paper", "meas/paper"],
+        rows,
+        note=(
+            f"scale={bench_scale()} reps={bench_reps()} | paper: davix "
+            "0.7% faster on LAN, parity on GEANT, XRootD 17.5% faster "
+            "on WAN"
+        ),
+    )
+
+    wan_davix = results[("davix", "wan")].mean
+    wan_xrootd = results[("xrootd", "wan")].mean
+    lan_ratio = (
+        results[("davix", "lan")].mean / results[("xrootd", "lan")].mean
+    )
+    geant_ratio = (
+        results[("davix", "geant")].mean
+        / results[("xrootd", "geant")].mean
+    )
+    benchmark.extra_info["wan_gap"] = wan_davix / wan_xrootd
+    # Shape assertions (paper: 1.175 on WAN, ~1.0 elsewhere).
+    if bench_scale() >= 0.9:
+        assert 1.05 < wan_davix / wan_xrootd < 1.35
+        assert 0.95 < lan_ratio < 1.05
+        assert 0.95 < geant_ratio < 1.05

@@ -1,0 +1,101 @@
+"""FIG2-KA — keep-alive pool & session recycling vs reconnecting.
+
+Section 2.2: "HTTP 1.0 ... one TCP connection per request ... has been
+already proven inefficient due to the TCP slow start mechanism. ...
+we enforce an aggressive usage of the HTTP KeepAlive feature ... to
+maximize the re-utilization of the TCP connections and to minimize the
+effect of the TCP slow start."
+
+Workload: 200 repetitive 256 KiB GETs against one server, per network
+profile, with (a) the davix pool (keep-alive + recycling) and (b) a
+connection per request (HTTP/1.0 style). Metric: total time and
+effective throughput.
+"""
+
+from repro.concurrency import SimRuntime
+from repro.core import Context, DavixClient, RequestParams
+from repro.net.profiles import GEANT, LAN, WAN, build_network
+from repro.server import HttpServer, ObjectStore, StorageApp
+from repro.sim import Environment
+
+from _util import emit
+
+N_REQUESTS = 200
+OBJECT_SIZE = 262_144
+
+
+def run_case(profile, keep_alive: bool):
+    env = Environment()
+    net = build_network(profile, env, seed=11)
+    client_rt = SimRuntime(net, "client")
+    server_rt = SimRuntime(net, "server")
+    store = ObjectStore()
+    store.put("/obj", b"d" * OBJECT_SIZE)
+    HttpServer(server_rt, StorageApp(store), port=80).start()
+
+    client = DavixClient(
+        client_rt, params=RequestParams(keep_alive=keep_alive)
+    )
+    start = client_rt.now()
+    for _ in range(N_REQUESTS):
+        client.get("http://server/obj")
+    elapsed = client_rt.now() - start
+    connections = net.host("server").counters["connections_accepted"]
+    return elapsed, connections
+
+
+def test_keepalive_pool(benchmark):
+    def run():
+        out = {}
+        for profile in (LAN, GEANT, WAN):
+            out[(profile.name, True)] = run_case(profile, keep_alive=True)
+            out[(profile.name, False)] = run_case(profile, keep_alive=False)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for profile in (LAN, GEANT, WAN):
+        ka_time, ka_conns = results[(profile.name, True)]
+        nk_time, nk_conns = results[(profile.name, False)]
+        rows.append(
+            [
+                profile.label,
+                ka_time,
+                ka_conns,
+                nk_time,
+                nk_conns,
+                nk_time / ka_time,
+            ]
+        )
+    emit(
+        "keepalive_pool",
+        f"FIG2-KA: {N_REQUESTS} x 256 KiB GETs — pooled keep-alive vs "
+        "connection-per-request (s)",
+        [
+            "link",
+            "pool time",
+            "pool conns",
+            "reconnect time",
+            "reconnect conns",
+            "slowdown",
+        ],
+        rows,
+        note=(
+            "slowdown = reconnect/pool; grows with RTT (handshake + "
+            "slow-start restart per request)"
+        ),
+    )
+
+    for profile in (LAN, GEANT, WAN):
+        ka_time, ka_conns = results[(profile.name, True)]
+        nk_time, nk_conns = results[(profile.name, False)]
+        assert ka_conns == 1
+        assert nk_conns == N_REQUESTS
+        assert nk_time > ka_time
+    # The penalty must grow with latency.
+    slowdowns = [
+        results[(p.name, False)][0] / results[(p.name, True)][0]
+        for p in (LAN, GEANT, WAN)
+    ]
+    assert slowdowns[2] > slowdowns[1] > slowdowns[0]

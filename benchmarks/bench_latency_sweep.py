@@ -1,0 +1,79 @@
+"""LAT-X — where does XRootD pull ahead? (Section 3 analysis.)
+
+The paper attributes the WAN gap to round-trip costs: "Network round
+trips are naturally extremely costly on high latency networks." This
+sweep runs the analysis job at RTTs from 1 ms to 300 ms (fixed 200 Mb/s
+path) and locates the crossover where the HTTP stack's smaller
+transport window starts to bind — the davix/XRootD gap should be ~0
+below the window's BDP threshold and grow beyond it.
+"""
+
+from repro.net.link import LinkSpec
+from repro.net.profiles import NetProfile
+from repro.rootio.generator import paper_dataset
+from repro.workloads import AnalysisConfig, Scenario, run_scenario
+
+from _util import bench_scale, emit
+
+RTTS_MS = (1, 10, 40, 100, 200, 300)
+BANDWIDTH = 25_000_000  # 200 Mb/s
+
+
+def profile_for(rtt_ms: float) -> NetProfile:
+    return NetProfile(
+        name=f"rtt{rtt_ms}",
+        label=f"{rtt_ms} ms RTT",
+        spec=LinkSpec(latency=rtt_ms / 2000.0, bandwidth=BANDWIDTH),
+    )
+
+
+def test_latency_sweep(benchmark):
+    spec = paper_dataset(scale=bench_scale())
+    # 25% of the events keeps the sweep quick; the per-refill
+    # mechanics are identical.
+    config = AnalysisConfig(fraction=0.25)
+
+    def run():
+        out = {}
+        for rtt in RTTS_MS:
+            profile = profile_for(rtt)
+            for protocol in ("davix", "xrootd"):
+                report = run_scenario(
+                    Scenario(
+                        profile=profile,
+                        protocol=protocol,
+                        spec=spec,
+                        config=config,
+                        seed=13,
+                    )
+                )
+                out[(rtt, protocol)] = report.wall_seconds
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for rtt in RTTS_MS:
+        davix = results[(rtt, "davix")]
+        xrootd = results[(rtt, "xrootd")]
+        rows.append([rtt, davix, xrootd, davix / xrootd])
+    emit(
+        "latency_sweep",
+        "LAT-X: analysis job (25% of events) vs RTT at 200 Mb/s",
+        ["RTT (ms)", "HTTP (s)", "XRootD (s)", "HTTP/XRootD"],
+        rows,
+        note=(
+            "gap ~1.0 while BDP < HTTP window (2.5 MB ~= 100 ms RTT "
+            "at 200 Mb/s), grows beyond"
+        ),
+    )
+
+    if bench_scale() >= 0.9:
+        low_gap = results[(10, "davix")] / results[(10, "xrootd")]
+        high_gap = results[(300, "davix")] / results[(300, "xrootd")]
+        assert abs(low_gap - 1.0) < 0.05
+        assert high_gap > low_gap + 0.05
+    # Time is monotone in RTT for both protocols.
+    for protocol in ("davix", "xrootd"):
+        series = [results[(rtt, protocol)] for rtt in RTTS_MS]
+        assert series == sorted(series)

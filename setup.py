@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, which
+PEP 660 editable installs require)."""
+from setuptools import setup
+
+setup()

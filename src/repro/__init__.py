@@ -1,0 +1,38 @@
+"""repro — a Python reproduction of *Efficient HTTP based I/O on very
+large datasets for high performance computing with the libdavix
+library* (Devresse & Furano, CERN, 2014).
+
+Layered architecture (bottom up):
+
+* :mod:`repro.sim` — discrete-event kernel;
+* :mod:`repro.net` — flow-level TCP model and network profiles;
+* :mod:`repro.concurrency` — effect runtimes (simulator / sockets);
+* :mod:`repro.http` — sans-io HTTP/1.1 stack;
+* :mod:`repro.server` — DPM-like storage server + DynaFed federator;
+* :mod:`repro.metalink` — RFC 5854 Metalink;
+* :mod:`repro.core` — **davix**: pool, vectored I/O, failover;
+* :mod:`repro.xrootd` — the XRootD baseline protocol;
+* :mod:`repro.rootio` — ROOT-like tree files and TTreeCache;
+* :mod:`repro.workloads` — the paper's HEP analysis job + HammerCloud.
+"""
+
+from repro.core import (
+    Context,
+    DavFile,
+    DavixClient,
+    DavPosix,
+    MetalinkMode,
+    RequestParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Context",
+    "DavFile",
+    "DavixClient",
+    "DavPosix",
+    "MetalinkMode",
+    "RequestParams",
+    "__version__",
+]

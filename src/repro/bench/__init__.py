@@ -1,0 +1,6 @@
+"""Benchmark support: statistics and table rendering."""
+
+from repro.bench.figures import PAPER_FIG4, print_table, render_table
+from repro.bench.stats import ratio, summarize
+
+__all__ = ["PAPER_FIG4", "print_table", "render_table", "ratio", "summarize"]

@@ -1,0 +1,69 @@
+"""Table rendering for the benchmark harness.
+
+Each benchmark prints the rows/series of one paper artefact next to the
+paper-reported values, so ``pytest benchmarks/ --benchmark-only`` output
+doubles as the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["PAPER_FIG4", "render_table", "print_table"]
+
+#: Figure 4 of the paper: mean execution time (seconds) of the ROOT
+#: analysis job reading 100 % of the events.
+PAPER_FIG4: Dict[Tuple[str, str], float] = {
+    ("davix", "lan"): 97.22,
+    ("xrootd", "lan"): 97.91,
+    ("davix", "geant"): 107.88,
+    ("xrootd", "geant"): 107.80,
+    ("davix", "wan"): 203.49,
+    ("xrootd", "wan"): 173.20,
+}
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: Optional[str] = None,
+) -> None:
+    """Render and print an aligned ASCII table."""
+    print("\n" + render_table(title, headers, rows, note) + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,30 @@
+"""Small statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Sequence
+
+__all__ = ["summarize", "ratio"]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean/stdev/min/max/median of a sample."""
+    data = list(values)
+    if not data:
+        raise ValueError("no values to summarise")
+    return {
+        "mean": statistics.fmean(data),
+        "stdev": statistics.stdev(data) if len(data) > 1 else 0.0,
+        "min": min(data),
+        "max": max(data),
+        "median": statistics.median(data),
+        "n": float(len(data)),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (inf when the denominator is zero)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator

@@ -1,0 +1,286 @@
+"""davix-tool: command-line access to HTTP/WebDAV storage.
+
+Mirrors the tool suite the real davix ships (davix-get, davix-put,
+davix-ls, ...) as subcommands of one entry point, plus ``serve`` to run
+the storage server over a local directory. Works against any server
+speaking the implemented HTTP/WebDAV subset (including itself).
+
+Examples::
+
+    davix-tool serve --root /tmp/store --port 8080 &
+    davix-tool put  http://127.0.0.1:8080/data/f.bin ./f.bin
+    davix-tool ls   http://127.0.0.1:8080/data
+    davix-tool get  http://127.0.0.1:8080/data/f.bin ./copy.bin
+    davix-tool stat http://127.0.0.1:8080/data/f.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.concurrency import ThreadRuntime
+from repro.core import DavixClient, RequestParams
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the davix-tool argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="davix-tool",
+        description="HTTP/WebDAV data access (davix reproduction)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, help="transient-error retries"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="operation timeout (s)"
+    )
+    parser.add_argument(
+        "--proxy",
+        metavar="URL",
+        help="forward proxy for plain-http traffic (e.g. a site cache)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    get = commands.add_parser("get", help="download a resource")
+    get.add_argument("url")
+    get.add_argument(
+        "output", nargs="?", help="output file (default: stdout)"
+    )
+    get.add_argument(
+        "--failover",
+        action="store_true",
+        help="use Metalink replica fail-over",
+    )
+    get.add_argument(
+        "--multistream",
+        type=int,
+        metavar="N",
+        help="multi-source download with up to N streams",
+    )
+
+    put = commands.add_parser("put", help="upload a file")
+    put.add_argument("url")
+    put.add_argument("input", help="local file to upload")
+
+    ls = commands.add_parser("ls", help="list a collection")
+    ls.add_argument("url")
+    ls.add_argument("-l", "--long", action="store_true")
+
+    stat = commands.add_parser("stat", help="show resource metadata")
+    stat.add_argument("url")
+
+    rm = commands.add_parser("rm", help="delete a resource")
+    rm.add_argument("url")
+
+    mkdir = commands.add_parser("mkdir", help="create a collection")
+    mkdir.add_argument("url")
+
+    metalink = commands.add_parser(
+        "metalink", help="show a resource's replica list"
+    )
+    metalink.add_argument("url")
+
+    copy = commands.add_parser(
+        "copy", help="server-side copy (same server or third-party)"
+    )
+    copy.add_argument("source_url")
+    copy.add_argument("destination_url")
+    copy.add_argument(
+        "--move", action="store_true", help="MOVE instead of COPY"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run a storage server over a directory"
+    )
+    serve.add_argument("--root", default=".", help="directory to expose")
+    serve.add_argument("--port", type=int, default=8080)
+
+    return parser
+
+
+def _client(args) -> DavixClient:
+    params = RequestParams(
+        retries=args.retries,
+        operation_timeout=args.timeout,
+        proxy=getattr(args, "proxy", None),
+    )
+    return DavixClient(ThreadRuntime(), params=params)
+
+
+def cmd_get(args, out=sys.stdout) -> int:
+    client = _client(args)
+    if args.multistream:
+        params = client.context.params.with_(
+            multistream_max_streams=args.multistream
+        )
+        data = client.get_multistream(args.url, params=params).data
+    elif args.failover:
+        data = client.get_with_failover(args.url)
+    else:
+        data = client.get(args.url)
+    if args.output:
+        pathlib.Path(args.output).write_bytes(data)
+        print(f"{len(data)} bytes -> {args.output}", file=out)
+    else:
+        sys.stdout.buffer.write(data)
+    return 0
+
+
+def cmd_put(args, out=sys.stdout) -> int:
+    data = pathlib.Path(args.input).read_bytes()
+    status = _client(args).put(args.url, data)
+    print(f"HTTP {status}: {len(data)} bytes -> {args.url}", file=out)
+    return 0
+
+
+def cmd_ls(args, out=sys.stdout) -> int:
+    listing = _client(args).listdir(args.url)
+    for name, stat in sorted(listing):
+        if args.long:
+            kind = "d" if stat.is_directory else "-"
+            print(f"{kind} {stat.size:>12d} {name}", file=out)
+        else:
+            print(name, file=out)
+    return 0
+
+
+def cmd_stat(args, out=sys.stdout) -> int:
+    stat = _client(args).stat(args.url)
+    kind = "collection" if stat.is_directory else "file"
+    print(f"type:  {kind}", file=out)
+    print(f"size:  {stat.size}", file=out)
+    if stat.etag:
+        print(f"etag:  {stat.etag}", file=out)
+    if stat.mtime is not None:
+        print(f"mtime: {stat.mtime}", file=out)
+    return 0
+
+
+def cmd_rm(args, out=sys.stdout) -> int:
+    _client(args).delete(args.url)
+    print(f"deleted {args.url}", file=out)
+    return 0
+
+
+def cmd_mkdir(args, out=sys.stdout) -> int:
+    _client(args).mkdir(args.url)
+    print(f"created {args.url}", file=out)
+    return 0
+
+
+def cmd_metalink(args, out=sys.stdout) -> int:
+    metalink = _client(args).get_metalink(args.url)
+    entry = metalink.single()
+    print(f"name: {entry.name}", file=out)
+    if entry.size is not None:
+        print(f"size: {entry.size}", file=out)
+    for algo, digest in sorted(entry.hashes.items()):
+        print(f"hash: {algo}={digest}", file=out)
+    for url in entry.ordered_urls():
+        print(f"replica[{url.priority}]: {url.url}", file=out)
+    return 0
+
+
+def cmd_copy(args, out=sys.stdout) -> int:
+    from repro.core.request import execute_request
+    from repro.http import Headers, Request, Url
+
+    client = _client(args)
+    source = Url.parse(args.source_url)
+    destination = Url.parse(args.destination_url)
+    if source.origin == destination.origin:
+        # Same server: plain WebDAV COPY/MOVE.
+        if args.move:
+            client.rename(source, destination)
+        else:
+            client.copy(source, destination)
+        print(f"copied {source} -> {destination}", file=out)
+        return 0
+    # Cross-server: third-party copy — ask the destination to pull.
+    request = Request(
+        "COPY",
+        destination.target,
+        Headers([("Source", str(source))]),
+    )
+
+    def op():
+        response, _ = yield from execute_request(
+            client.context, destination, request, client.context.params
+        )
+        return response
+
+    response = client.runtime.run(op())
+    from repro.core.file import raise_for_status
+
+    raise_for_status(response, destination.path)
+    if args.move:
+        client.delete(source)
+    print(
+        f"third-party copied {source} -> {destination} "
+        f"(HTTP {response.status})",
+        file=out,
+    )
+    return 0
+
+
+def cmd_serve(args, out=sys.stdout) -> int:
+    from repro.server import ObjectStore, StorageApp, real_server
+
+    root = pathlib.Path(args.root)
+    store = ObjectStore(clock=time.time)
+    loaded = 0
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            store.put(
+                "/" + str(path.relative_to(root)), path.read_bytes()
+            )
+            loaded += 1
+    app = StorageApp(store)
+    with real_server(app, port=args.port) as server:
+        print(
+            f"serving {loaded} object(s) from {root} on "
+            f"http://127.0.0.1:{server.port} (Ctrl-C to stop)",
+            file=out,
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            return 0
+
+
+COMMANDS = {
+    "get": cmd_get,
+    "put": cmd_put,
+    "ls": cmd_ls,
+    "stat": cmd_stat,
+    "rm": cmd_rm,
+    "mkdir": cmd_mkdir,
+    "metalink": cmd_metalink,
+    "copy": cmd_copy,
+    "serve": cmd_serve,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"davix-tool: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"davix-tool: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

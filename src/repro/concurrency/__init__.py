@@ -1,0 +1,45 @@
+"""Effect-based concurrency: write protocol code once, run it on the
+simulated network or on real sockets."""
+
+from repro.concurrency.effects import (
+    Abort,
+    Accept,
+    Await,
+    Close,
+    Connect,
+    Effect,
+    Join,
+    MakePromise,
+    Now,
+    Recv,
+    Send,
+    Sleep,
+    Spawn,
+)
+from repro.concurrency.promise import EffectLock, SimPromise, ThreadPromise
+from repro.concurrency.runtime import Runtime, TaskHandle
+from repro.concurrency.sim_runtime import SimRuntime
+from repro.concurrency.thread_runtime import ThreadRuntime
+
+__all__ = [
+    "Abort",
+    "Accept",
+    "Await",
+    "MakePromise",
+    "EffectLock",
+    "SimPromise",
+    "ThreadPromise",
+    "Close",
+    "Connect",
+    "Effect",
+    "Join",
+    "Now",
+    "Recv",
+    "Send",
+    "Sleep",
+    "Spawn",
+    "Runtime",
+    "TaskHandle",
+    "SimRuntime",
+    "ThreadRuntime",
+]

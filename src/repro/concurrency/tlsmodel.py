@@ -1,0 +1,87 @@
+"""TLS performance model (paper Section 2.2, citing Coarfa et al.).
+
+The paper rejects SPDY partly because it "explicitly enforces the usage
+of SSL/TLS ... TLS introduces a negative performance impact for big
+data transfers and introduces a handshake latency". This module models
+both costs so the claim is measurable:
+
+* a **handshake** of four flights (ClientHello, ServerHello+Certificate,
+  ClientKeyExchange, Finished) — two extra round trips on the wire plus
+  asymmetric-crypto CPU on both ends;
+* **record-layer CPU**: every payload byte costs
+  ``1/crypto_bandwidth`` seconds of symmetric crypto on each endpoint.
+
+Both sides are plain effect sub-ops (real messages cross the channel),
+so the round trips are *emergent* from the network model, not constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concurrency.effects import Recv, Send, Sleep
+from repro.errors import ConnectionClosed, HttpProtocolError
+
+__all__ = ["TlsPolicy", "client_handshake", "server_handshake"]
+
+CLIENT_HELLO = b"TLS1 CLIENTHELLO" + bytes(184)  # ~200 B
+KEY_EXCHANGE = b"TLS1 KEYEXCHANGE" + bytes(284)  # ~300 B
+FINISHED = b"TLS1 FINISHED---" + bytes(84)  # ~100 B
+
+
+@dataclass(frozen=True)
+class TlsPolicy:
+    """Cost constants of the TLS model.
+
+    Defaults approximate 2014-era OpenSSL on a Xeon: ~2 ms of
+    asymmetric crypto per handshake side, AES+SHA at ~200 MB/s.
+    """
+
+    certificate_size: int = 3000
+    handshake_cpu: float = 0.002
+    crypto_bandwidth: float = 200e6
+
+    def record_cost(self, nbytes: int) -> float:
+        """Symmetric-crypto CPU seconds for ``nbytes`` of payload."""
+        return nbytes / self.crypto_bandwidth
+
+
+def _recv_exact(channel, n: int):
+    """Effect sub-op: read exactly n bytes (handshake flights)."""
+    buf = bytearray()
+    while len(buf) < n:
+        data = yield Recv(channel, max_bytes=n - len(buf))
+        if not data:
+            raise ConnectionClosed("peer closed during TLS handshake")
+        buf.extend(data)
+    return bytes(buf)
+
+
+def client_handshake(channel, policy: TlsPolicy):
+    """Effect sub-op: the client side of the handshake (2 RTTs)."""
+    yield Send(channel, CLIENT_HELLO)
+    certificate = yield from _recv_exact(
+        channel, policy.certificate_size
+    )
+    if not certificate.startswith(b"TLS1 CERT"):
+        raise HttpProtocolError(
+            "peer did not present a TLS certificate (https against a "
+            "plain-http port?)"
+        )
+    yield Sleep(policy.handshake_cpu)  # verify cert + key exchange
+    yield Send(channel, KEY_EXCHANGE)
+    finished = yield from _recv_exact(channel, len(FINISHED))
+    if not finished.startswith(b"TLS1 FINISHED"):
+        raise HttpProtocolError("bad TLS Finished message")
+
+
+def server_handshake(channel, policy: TlsPolicy):
+    """Effect sub-op: the server side of the handshake."""
+    hello = yield from _recv_exact(channel, len(CLIENT_HELLO))
+    if not hello.startswith(b"TLS1 CLIENTHELLO"):
+        raise HttpProtocolError("not a TLS ClientHello")
+    certificate = b"TLS1 CERT" + bytes(policy.certificate_size - 9)
+    yield Send(channel, certificate)
+    yield from _recv_exact(channel, len(KEY_EXCHANGE))
+    yield Sleep(policy.handshake_cpu)  # private-key operation
+    yield Send(channel, FINISHED)

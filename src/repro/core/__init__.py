@@ -1,0 +1,61 @@
+"""davix core: the paper's contribution (pool, vectored I/O, failover).
+
+Public surface:
+
+* :class:`Context` / :class:`RequestParams` — configuration;
+* :class:`DavixClient` — synchronous facade over any runtime;
+* :class:`DavFile` / :class:`DavPosix` — effect-level file APIs;
+* :func:`with_failover` / :func:`multistream_download` — Metalink
+  strategies;
+* :func:`run_parallel` — pool-based parallel dispatch;
+* :func:`pipeline_requests` — the HTTP-pipelining baseline.
+"""
+
+from repro.core.client import DavixClient
+from repro.core.context import Context, MetalinkMode, RequestParams
+from repro.core.dispatch import JobResult, run_parallel
+from repro.core.failover import with_failover
+from repro.core.file import DavFile, FileStat
+from repro.core.multistream import (
+    MultistreamResult,
+    StreamStats,
+    multistream_download,
+)
+from repro.core.pipelining import pipeline_requests
+from repro.core.pool import SessionPool
+from repro.core.posix import DavFd, DavPosix
+from repro.core.session import Session, StaleSession, open_session
+from repro.core.vectored import (
+    CoalescedRange,
+    Fragment,
+    VectorPlan,
+    plan_vector,
+    scatter_parts,
+)
+
+__all__ = [
+    "DavixClient",
+    "Context",
+    "MetalinkMode",
+    "RequestParams",
+    "JobResult",
+    "run_parallel",
+    "with_failover",
+    "DavFile",
+    "FileStat",
+    "MultistreamResult",
+    "StreamStats",
+    "multistream_download",
+    "pipeline_requests",
+    "SessionPool",
+    "DavFd",
+    "DavPosix",
+    "Session",
+    "StaleSession",
+    "open_session",
+    "CoalescedRange",
+    "Fragment",
+    "VectorPlan",
+    "plan_vector",
+    "scatter_parts",
+]

@@ -1,0 +1,222 @@
+"""DavixClient: the synchronous public facade.
+
+Binds a :class:`~repro.core.context.Context` to a runtime (simulated or
+real sockets) and exposes plain-call methods — what an application or
+the CLI uses. Every method simply runs the corresponding effect op on
+the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.concurrency.runtime import Runtime
+from repro.core.context import Context, RequestParams
+from repro.core.dispatch import run_parallel
+from repro.core.failover import with_failover
+from repro.core.file import DavFile, FileStat
+from repro.core.multistream import MultistreamResult, multistream_download
+from repro.core.posix import DavPosix
+from repro.metalink import Metalink
+
+__all__ = ["DavixClient"]
+
+
+class DavixClient:
+    """High-level davix API over a runtime.
+
+    Example::
+
+        runtime = ThreadRuntime()
+        client = DavixClient(runtime)
+        client.put("http://127.0.0.1:8080/data/x", b"payload")
+        assert client.get("http://127.0.0.1:8080/data/x") == b"payload"
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        context: Optional[Context] = None,
+        params: Optional[RequestParams] = None,
+    ):
+        self.runtime = runtime
+        self.context = context or Context(params=params)
+        # The blacklist and session-age logic need the runtime's clock.
+        self.context.clock = runtime.now
+        self.posix = DavPosix(self.context, self.context.params)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _file(self, url, params: Optional[RequestParams]) -> DavFile:
+        return DavFile(self.context, url, params or self.context.params)
+
+    # -- object operations ----------------------------------------------------
+
+    def get(self, url, params: Optional[RequestParams] = None) -> bytes:
+        """Download the full object."""
+        return self.runtime.run(self._file(url, params).read_all())
+
+    def get_to_sink(
+        self,
+        url,
+        sink: Callable[[bytes], None],
+        params: Optional[RequestParams] = None,
+    ) -> int:
+        """Stream the object into ``sink``; returns the byte count."""
+        return self.runtime.run(self._file(url, params).read_all(sink))
+
+    def put(
+        self,
+        url,
+        data: bytes,
+        content_type: str = "application/octet-stream",
+        params: Optional[RequestParams] = None,
+    ) -> int:
+        """Upload (create or replace); returns the HTTP status."""
+        return self.runtime.run(
+            self._file(url, params).write_all(data, content_type)
+        )
+
+    def delete(self, url, params: Optional[RequestParams] = None) -> None:
+        self.runtime.run(self._file(url, params).delete())
+
+    def stat(self, url, params: Optional[RequestParams] = None) -> FileStat:
+        return self.runtime.run(self._file(url, params).stat())
+
+    def exists(self, url, params: Optional[RequestParams] = None) -> bool:
+        return self.runtime.run(self._file(url, params).exists())
+
+    def listdir(
+        self, url, params: Optional[RequestParams] = None
+    ) -> List[Tuple[str, FileStat]]:
+        posix = DavPosix(self.context, params or self.context.params)
+        return self.runtime.run(posix.listdir(url))
+
+    def mkdir(self, url, params: Optional[RequestParams] = None) -> None:
+        posix = DavPosix(self.context, params or self.context.params)
+        self.runtime.run(posix.mkdir(url))
+
+    def rename(
+        self,
+        source_url,
+        destination_url,
+        overwrite: bool = True,
+        params: Optional[RequestParams] = None,
+    ) -> None:
+        """Server-side rename (WebDAV MOVE)."""
+        posix = DavPosix(self.context, params or self.context.params)
+        self.runtime.run(
+            posix.rename(source_url, destination_url, overwrite)
+        )
+
+    def copy(
+        self,
+        source_url,
+        destination_url,
+        overwrite: bool = True,
+        params: Optional[RequestParams] = None,
+    ) -> None:
+        """Server-side copy (WebDAV COPY) — no data crosses the client."""
+        posix = DavPosix(self.context, params or self.context.params)
+        self.runtime.run(
+            posix.copy(source_url, destination_url, overwrite)
+        )
+
+    # -- positional / vectored I/O ------------------------------------------------
+
+    def pread(
+        self,
+        url,
+        offset: int,
+        length: int,
+        params: Optional[RequestParams] = None,
+    ) -> bytes:
+        return self.runtime.run(
+            self._file(url, params).pread(offset, length)
+        )
+
+    def pread_vec(
+        self,
+        url,
+        reads: Sequence[Tuple[int, int]],
+        params: Optional[RequestParams] = None,
+    ) -> List[bytes]:
+        """Vectored read: the paper's Section 2.3 in one call."""
+        return self.runtime.run(self._file(url, params).pread_vec(reads))
+
+    # -- resilience (Section 2.4) ----------------------------------------------------
+
+    def get_metalink(
+        self, url, params: Optional[RequestParams] = None
+    ) -> Metalink:
+        return self.runtime.run(self._file(url, params).get_metalink())
+
+    def get_with_failover(
+        self,
+        url,
+        params: Optional[RequestParams] = None,
+        metalink_url=None,
+    ) -> bytes:
+        """GET with transparent Metalink replica fail-over."""
+        params = params or self.context.params
+
+        def attempt(target):
+            data = yield from DavFile(
+                self.context, target, params
+            ).read_all()
+            return data
+
+        return self.runtime.run(
+            with_failover(
+                self.context,
+                url,
+                attempt,
+                params,
+                metalink_url=metalink_url,
+            )
+        )
+
+    def get_multistream(
+        self,
+        url,
+        params: Optional[RequestParams] = None,
+        metalink_url=None,
+    ) -> MultistreamResult:
+        """Parallel multi-source download of every chunk."""
+        return self.runtime.run(
+            multistream_download(
+                self.context,
+                url,
+                params or self.context.params,
+                metalink_url=metalink_url,
+            )
+        )
+
+    # -- parallel dispatch (Figure 2) ---------------------------------------------------
+
+    def get_many(
+        self,
+        urls: Sequence[str],
+        concurrency: int = 8,
+        params: Optional[RequestParams] = None,
+    ) -> List[bytes]:
+        """Fetch many objects through the pool dispatcher."""
+        params = params or self.context.params
+
+        def job(url):
+            def thunk():
+                data = yield from DavFile(
+                    self.context, url, params
+                ).read_all()
+                return data
+
+            return thunk
+
+        results = self.runtime.run(
+            run_parallel(
+                [job(url) for url in urls],
+                concurrency=concurrency,
+                raise_first=True,
+            )
+        )
+        return [result.value for result in results]

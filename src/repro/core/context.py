@@ -1,0 +1,155 @@
+"""davix context and request parameters.
+
+Mirrors the public surface of the original libdavix: a
+:class:`Context` owns shared state (the session pool, counters) and a
+:class:`RequestParams` bundles per-operation behaviour — redirect
+policy, retries, keep-alive, vectored-I/O limits and the Metalink
+strategy from Section 2.4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.pool import SessionPool
+from repro.net.tcp import TcpOptions
+
+__all__ = ["MetalinkMode", "RequestParams", "Context"]
+
+
+class MetalinkMode:
+    """Replica-recovery strategies (paper Section 2.4)."""
+
+    DISABLED = "disabled"
+    #: Try replicas one by one after a failure (davix default).
+    FAILOVER = "failover"
+    #: Parallel multi-source download of chunks from every replica.
+    MULTISTREAM = "multistream"
+
+    ALL = (DISABLED, FAILOVER, MULTISTREAM)
+
+
+@dataclass(frozen=True)
+class RequestParams:
+    """Per-operation behaviour knobs (davix ``RequestParams``)."""
+
+    # -- connection / timing ------------------------------------------------
+    connect_timeout: float = 5.0
+    operation_timeout: Optional[float] = 120.0
+    keep_alive: bool = True
+    #: TCP options forwarded to the simulated transport (ignored on
+    #: real sockets).
+    tcp_options: Optional[TcpOptions] = None
+
+    # -- redirects / retries --------------------------------------------------
+    follow_redirects: bool = True
+    max_redirects: int = 10
+    #: Extra attempts on transient failures (5xx, stale connections).
+    retries: int = 1
+    retry_delay: float = 0.0
+
+    # -- vectored I/O (Section 2.3) -------------------------------------------
+    #: Maximum range-specs packed into one multi-range request.
+    max_vector_ranges: int = 256
+    #: Merge fragments whose gap is below this many bytes.
+    vector_gap: int = 512
+
+    # -- Metalink (Section 2.4) --------------------------------------------------
+    metalink_mode: str = MetalinkMode.FAILOVER
+    #: Seconds a failed replica stays blacklisted.
+    blacklist_ttl: float = 30.0
+    #: Verify the Metalink adler32 checksum after multi-stream GETs.
+    verify_checksum: bool = True
+    #: Chunk size for multi-stream downloads.
+    multistream_chunk: int = 4 * 1024 * 1024
+    #: Maximum parallel streams (one per distinct replica).
+    multistream_max_streams: int = 4
+
+    # -- headers / auth ---------------------------------------------------------------
+    user_agent: str = "repro-davix/1.0"
+    extra_headers: Tuple[Tuple[str, str], ...] = ()
+    #: Bearer token attached as ``Authorization: Bearer <token>``
+    #: (stands in for the grid's X.509 delegation).
+    auth_token: Optional[str] = None
+    #: S3 access/secret pair; when set every request is signed
+    #: (see :mod:`repro.server.s3`).
+    s3_credentials: Optional[object] = None
+    #: TLS cost model for https/davs URLs (None -> model defaults).
+    tls: Optional[object] = None
+    #: Forward-proxy URL; all plain-http traffic goes through it
+    #: (absolute-URI requests, one pooled connection to the proxy).
+    proxy: Optional[str] = None
+
+    def __post_init__(self):
+        if self.metalink_mode not in MetalinkMode.ALL:
+            raise ValueError(
+                f"bad metalink_mode {self.metalink_mode!r}"
+            )
+        if self.max_redirects < 0 or self.retries < 0:
+            raise ValueError("max_redirects/retries must be >= 0")
+        if self.max_vector_ranges < 1:
+            raise ValueError("max_vector_ranges must be >= 1")
+        if self.vector_gap < 0:
+            raise ValueError("vector_gap must be >= 0")
+        if self.multistream_chunk < 1 or self.multistream_max_streams < 1:
+            raise ValueError("multistream settings must be >= 1")
+
+    def with_(self, **changes) -> "RequestParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class Context:
+    """Shared davix state: the session pool, blacklist and counters.
+
+    One Context per client host; cheap to create, intended to be
+    long-lived so the pool's recycled sessions accumulate (the paper's
+    "session recycling" benefit).
+    """
+
+    def __init__(
+        self,
+        params: Optional[RequestParams] = None,
+        pool_max_per_origin: int = 16,
+        clock=None,
+    ):
+        self.params = params or RequestParams()
+        #: Injected time source (simulated or monotonic); settable so
+        #: blacklist TTLs follow the right clock.
+        self.clock = clock or (lambda: 0.0)
+        self.pool = SessionPool(
+            max_idle_per_origin=pool_max_per_origin, clock=self._now
+        )
+        #: origin -> expiry time of the blacklist entry.
+        self._blacklist: Dict[Tuple, float] = {}
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "redirects_followed": 0,
+            "retries": 0,
+            "failovers": 0,
+            "vector_requests": 0,
+            "vector_fragments": 0,
+        }
+
+    def _now(self) -> float:
+        return self.clock()
+
+    # -- blacklist (failed replicas) ----------------------------------------
+
+    def blacklist(self, origin: Tuple, ttl: Optional[float] = None) -> None:
+        """Mark an origin as recently failed."""
+        ttl = self.params.blacklist_ttl if ttl is None else ttl
+        self._blacklist[origin] = self._now() + ttl
+
+    def is_blacklisted(self, origin: Tuple) -> bool:
+        expiry = self._blacklist.get(origin)
+        if expiry is None:
+            return False
+        if self._now() >= expiry:
+            del self._blacklist[origin]
+            return False
+        return True
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount

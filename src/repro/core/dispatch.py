@@ -1,0 +1,88 @@
+"""Thread-safe query dispatch over the connection pool (paper Fig. 2).
+
+The paper's answer to HTTP's missing multiplexing: instead of pipelining
+requests on one connection (head-of-line blocking) or one connection
+per request (slow start every time), concurrent logical requests are
+dispatched over a *dynamic pool* of kept-alive connections whose size
+tracks the concurrency level.
+
+:func:`run_parallel` is that dispatcher: N worker streams drain a shared
+job queue; each worker acquires a pooled session per job (via the
+normal ``execute_request`` path) so connections are recycled across
+jobs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Sequence
+
+from repro.concurrency import Join, Spawn
+
+__all__ = ["JobResult", "run_parallel"]
+
+
+class JobResult:
+    """Outcome of one dispatched job: a value or an exception."""
+
+    __slots__ = ("index", "value", "error")
+
+    def __init__(self, index: int, value=None, error=None):
+        self.index = index
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self):
+        """The value, re-raising the job's exception if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def run_parallel(
+    jobs: Sequence[Callable[[], object]],
+    concurrency: int = 8,
+    raise_first: bool = False,
+):
+    """Effect op: run job thunks through a worker pool.
+
+    Each job is a zero-argument callable returning an effect sub-op
+    (generator). Returns a list of :class:`JobResult` in job order.
+    With ``raise_first`` the first failure is re-raised after all
+    workers drain.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    queue = deque(enumerate(jobs))
+
+    def worker():
+        while True:
+            try:
+                index, job = queue.popleft()
+            except IndexError:
+                return
+            try:
+                value = yield from job()
+            except Exception as exc:  # captured per job
+                results[index] = JobResult(index, error=exc)
+            else:
+                results[index] = JobResult(index, value=value)
+
+    width = min(concurrency, len(jobs))
+    tasks = []
+    for lane in range(width):
+        task = yield Spawn(worker(), name=f"dispatch-{lane}")
+        tasks.append(task)
+    for task in tasks:
+        yield Join(task)
+
+    if raise_first:
+        for result in results:
+            if result is not None and not result.ok:
+                raise result.error
+    return results

@@ -1,0 +1,108 @@
+"""Metalink-driven replica fail-over (paper Section 2.4, default mode).
+
+When an operation against the primary URL fails, davix fetches the
+resource's Metalink (from a federation endpoint or the primary's own
+server), filters blacklisted/duplicate replicas, and retries the
+operation against each remaining replica in priority order. A read
+succeeds as long as *one* replica is reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.context import Context, MetalinkMode, RequestParams
+from repro.core.file import DavFile
+from repro.errors import (
+    AllReplicasFailed,
+    ConnectError,
+    ConnectionClosed,
+    DavixError,
+    FileNotFound,
+    MetalinkError,
+    RequestError,
+    TransferTimeout,
+)
+from repro.http import Url
+from repro.metalink import Metalink
+
+__all__ = ["FAILOVER_ERRORS", "resolve_replicas", "with_failover"]
+
+#: Failures that trigger replica fail-over: the resource (or its
+#: server) is unavailable *here*, but may exist elsewhere.
+FAILOVER_ERRORS = (
+    ConnectError,
+    ConnectionClosed,
+    TransferTimeout,
+    RequestError,
+    FileNotFound,
+)
+
+
+def resolve_replicas(metalink: Metalink, base: Url) -> List[Url]:
+    """Ordered replica URLs from a metalink (invalid entries skipped)."""
+    replicas = []
+    for entry_url in metalink.single().ordered_urls():
+        try:
+            replicas.append(base.resolve(entry_url.url))
+        except Exception:  # noqa: BLE001 - skip unparsable replicas
+            continue
+    return replicas
+
+
+def with_failover(
+    context: Context,
+    url,
+    operation: Callable,
+    params: Optional[RequestParams] = None,
+    metalink_url=None,
+):
+    """Effect op: run ``operation(url)`` with Metalink fail-over.
+
+    ``operation`` maps a :class:`Url` to an effect sub-op. The Metalink
+    is fetched from ``metalink_url`` (a federation endpoint) when given,
+    otherwise from the primary URL itself. With
+    ``params.metalink_mode == "disabled"`` the primary failure is
+    re-raised untouched.
+    """
+    params = params or context.params
+    primary = url if isinstance(url, Url) else Url.parse(url)
+
+    try:
+        result = yield from operation(primary)
+        return result
+    except FAILOVER_ERRORS as exc:
+        primary_error = exc
+
+    if params.metalink_mode == MetalinkMode.DISABLED:
+        raise primary_error
+    context.blacklist(primary.origin)
+
+    source = metalink_url or primary
+    if not isinstance(source, Url):
+        source = Url.parse(source)
+    try:
+        metalink = yield from DavFile(
+            context, source, params
+        ).get_metalink()
+    except (DavixError, MetalinkError, *FAILOVER_ERRORS):
+        # No metalink available: nothing to fail over to.
+        raise primary_error from None
+
+    attempts: List[Tuple[str, BaseException]] = [
+        (str(primary), primary_error)
+    ]
+    for replica in resolve_replicas(metalink, primary):
+        if replica.origin == primary.origin:
+            continue  # already failed there
+        if context.is_blacklisted(replica.origin):
+            continue
+        try:
+            result = yield from operation(replica)
+            context.bump("failovers")
+            return result
+        except FAILOVER_ERRORS as exc:
+            context.blacklist(replica.origin)
+            attempts.append((str(replica), exc))
+
+    raise AllReplicasFailed(primary.path, attempts)

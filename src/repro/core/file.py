@@ -1,0 +1,276 @@
+"""DavFile: remote-file operations over HTTP (the davix file API).
+
+Implements the data-access surface the paper's analysis jobs use:
+
+* ``stat`` via HEAD (PROPFIND fallback);
+* full-object reads (optionally streamed into a sink);
+* positional reads via single Range requests;
+* **vectored reads** via multi-range requests (Section 2.3) with
+  transparent fallback when the server lacks multi-range support;
+* Metalink retrieval (Section 2.4).
+
+Every method is an effect sub-op; :class:`~repro.core.client.DavixClient`
+offers the synchronous facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.context import Context, RequestParams
+from repro.core.request import execute_request
+from repro.core.vectored import plan_vector, scatter_parts
+from repro.errors import (
+    FileNotFound,
+    HttpParseError,
+    PermissionDenied,
+    RequestError,
+)
+from repro.http import (
+    Headers,
+    RangeSpec,
+    Request,
+    Response,
+    Url,
+    decode_byteranges,
+    format_range_header,
+)
+from repro.http.multipart import content_type_boundary
+from repro.http.ranges import parse_content_range
+from repro.metalink import METALINK_MEDIA_TYPE, Metalink, parse_metalink
+
+__all__ = ["FileStat", "DavFile"]
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """POSIX-flavoured metadata of a remote resource."""
+
+    size: int
+    mtime: Optional[float]
+    is_directory: bool
+    etag: Optional[str] = None
+
+
+def raise_for_status(response: Response, path: str) -> None:
+    """Map HTTP error statuses onto the davix exception hierarchy."""
+    if response.status == 404:
+        raise FileNotFound(path)
+    if response.status in (401, 403):
+        raise PermissionDenied(path, response.status)
+    if response.status >= 400:
+        raise RequestError(
+            f"{path}: HTTP {response.status} {response.reason}",
+            status=response.status,
+        )
+
+
+class DavFile:
+    """One remote resource addressed by URL."""
+
+    def __init__(
+        self,
+        context: Context,
+        url,
+        params: Optional[RequestParams] = None,
+    ):
+        self.context = context
+        self.url = url if isinstance(url, Url) else Url.parse(url)
+        self.params = params or context.params
+
+    # -- metadata ---------------------------------------------------------------
+
+    def stat(self):
+        """Effect sub-op: (size, mtime, type) via HEAD, PROPFIND fallback."""
+        response, _ = yield from execute_request(
+            self.context, self.url, Request("HEAD", self.url.target),
+            self.params,
+        )
+        if response.status == 405:
+            stat = yield from self._stat_propfind()
+            return stat
+        raise_for_status(response, self.url.path)
+        return FileStat(
+            size=response.headers.get_int("Content-Length") or 0,
+            mtime=None,
+            is_directory=False,
+            etag=response.headers.get("ETag"),
+        )
+
+    def _stat_propfind(self):
+        from repro.server.webdav import parse_multistatus
+
+        request = Request(
+            "PROPFIND", self.url.target, Headers([("Depth", "0")])
+        )
+        response, _ = yield from execute_request(
+            self.context, self.url, request, self.params
+        )
+        raise_for_status(response, self.url.path)
+        resources = parse_multistatus(response.body)
+        if not resources:
+            raise FileNotFound(self.url.path)
+        res = resources[0]
+        return FileStat(
+            size=res.size,
+            mtime=res.mtime,
+            is_directory=res.is_collection,
+            etag=res.etag,
+        )
+
+    def exists(self):
+        """Effect sub-op: does the resource exist?"""
+        try:
+            yield from self.stat()
+        except FileNotFound:
+            return False
+        return True
+
+    # -- whole-object I/O ---------------------------------------------------------
+
+    def read_all(self, sink: Optional[Callable[[bytes], None]] = None):
+        """Effect sub-op: GET the full object.
+
+        Returns the bytes, or the total length when ``sink`` is given
+        (chunks stream into the sink).
+        """
+        def factory(head: Response):
+            return sink if sink is not None and head.ok else None
+
+        request = Request("GET", self.url.target)
+        response, _ = yield from execute_request(
+            self.context,
+            self.url,
+            request,
+            self.params,
+            sink_factory=factory if sink is not None else None,
+        )
+        raise_for_status(response, self.url.path)
+        if sink is not None:
+            return response.headers.get_int("Content-Length") or 0
+        return response.body
+
+    def write_all(self, data: bytes, content_type="application/octet-stream"):
+        """Effect sub-op: PUT the full object (idempotent update)."""
+        request = Request(
+            "PUT",
+            self.url.target,
+            Headers([("Content-Type", content_type)]),
+            body=data,
+        )
+        response, _ = yield from execute_request(
+            self.context, self.url, request, self.params
+        )
+        raise_for_status(response, self.url.path)
+        return response.status
+
+    def delete(self):
+        """Effect sub-op: DELETE the object."""
+        response, _ = yield from execute_request(
+            self.context,
+            self.url,
+            Request("DELETE", self.url.target),
+            self.params,
+        )
+        raise_for_status(response, self.url.path)
+
+    # -- positional I/O -----------------------------------------------------------
+
+    def pread(self, offset: int, length: int):
+        """Effect sub-op: read ``length`` bytes at ``offset``."""
+        if length == 0:
+            return b""
+        header = format_range_header(
+            [RangeSpec.from_offset_length(offset, length)]
+        )
+        request = Request(
+            "GET", self.url.target, Headers([("Range", header)])
+        )
+        response, _ = yield from execute_request(
+            self.context, self.url, request, self.params
+        )
+        if response.status == 416:
+            return b""  # read past EOF: POSIX-style short read
+        raise_for_status(response, self.url.path)
+        if response.status == 206:
+            return response.body
+        # Server ignored the Range header: slice the full body.
+        return response.body[offset : offset + length]
+
+    def pread_vec(self, reads: Sequence[Tuple[int, int]]):
+        """Effect sub-op: vectored read -> list of bytes, input order.
+
+        This is the paper's flagship feature: the reads are coalesced
+        and packed into at most ``ceil(n_ranges/max_vector_ranges)``
+        multi-range requests, each answered by one
+        ``multipart/byteranges`` response.
+        """
+        plan = plan_vector(
+            reads,
+            max_ranges=self.params.max_vector_ranges,
+            gap=self.params.vector_gap,
+        )
+        if not plan.fragments:
+            return []
+        self.context.bump("vector_requests", len(plan.batches))
+        self.context.bump("vector_fragments", len(plan.fragments))
+
+        results: Dict[int, bytes] = {}
+        for batch in plan.batches:
+            parts = yield from self._fetch_batch(batch)
+            results.update(scatter_parts(batch, parts))
+        return [results[i] for i in range(len(plan.fragments))]
+
+    def _fetch_batch(self, batch):
+        """One multi-range request -> {part_offset: bytes}."""
+        specs = [
+            RangeSpec.from_offset_length(rng.offset, rng.length)
+            for rng in batch
+        ]
+        headers = Headers([("Range", format_range_header(specs))])
+        request = Request("GET", self.url.target, headers)
+        response, _ = yield from execute_request(
+            self.context, self.url, request, self.params
+        )
+        raise_for_status(response, self.url.path)
+
+        if response.status == 206:
+            content_type = response.content_type
+            if content_type.lower().startswith("multipart/byteranges"):
+                try:
+                    boundary = content_type_boundary(content_type)
+                    parts = decode_byteranges(response.body, boundary)
+                except HttpParseError as exc:
+                    raise RequestError(
+                        f"bad multipart response: {exc}"
+                    ) from exc
+                return {part.offset: part.data for part in parts}
+            content_range = response.headers.get("Content-Range")
+            if content_range is None:
+                raise RequestError("206 without Content-Range")
+            offset, _length, _total = parse_content_range(content_range)
+            return {offset: response.body}
+        # 200: the server does not support (multi-)ranges — the whole
+        # object came back; slice everything from it.
+        return {0: response.body}
+
+    # -- metalink -----------------------------------------------------------------
+
+    def get_metalink(self) -> Metalink:
+        """Effect sub-op: fetch the Metalink document for this resource."""
+        request = Request(
+            "GET",
+            self.url.target,
+            Headers([("Accept", METALINK_MEDIA_TYPE)]),
+        )
+        response, _ = yield from execute_request(
+            self.context, self.url, request, self.params
+        )
+        raise_for_status(response, self.url.path)
+        if METALINK_MEDIA_TYPE not in response.content_type:
+            raise RequestError(
+                f"{self.url.path}: server returned "
+                f"{response.content_type!r}, not a metalink"
+            )
+        return parse_metalink(response.body)

@@ -1,0 +1,158 @@
+"""Multi-stream parallel download (paper Section 2.4, second strategy).
+
+The Metalink lists N replicas; davix splits the object into fixed-size
+chunks and runs one worker stream per replica, each pulling the next
+unclaimed chunk (work stealing, so a slow or dead replica only slows
+its current chunk). The result is assembled in order and verified
+against the Metalink's adler32 checksum.
+
+The paper notes the trade-off explicitly: client throughput is
+maximised, but server load grows with the stream count — the ML-MS
+benchmark reproduces both sides.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.concurrency import Join, Spawn
+from repro.core.context import Context, RequestParams
+from repro.core.file import DavFile
+from repro.core.failover import FAILOVER_ERRORS, resolve_replicas
+from repro.errors import AllReplicasFailed, ChecksumMismatch, RequestError
+from repro.http import Url
+from repro.metalink import Metalink
+
+__all__ = ["StreamStats", "MultistreamResult", "multistream_download"]
+
+
+class StreamStats:
+    """Per-replica accounting for one multi-stream download."""
+
+    def __init__(self, url: Url):
+        self.url = url
+        self.chunks = 0
+        self.bytes = 0
+        self.failed = False
+
+    def __repr__(self) -> str:
+        state = "failed" if self.failed else "ok"
+        return (
+            f"<StreamStats {self.url.host} chunks={self.chunks} "
+            f"bytes={self.bytes} {state}>"
+        )
+
+
+class MultistreamResult:
+    """The assembled object plus per-stream statistics."""
+
+    def __init__(self, data: bytes, streams: List[StreamStats]):
+        self.data = data
+        self.streams = streams
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def bytes_by_host(self) -> Dict[str, int]:
+        return {s.url.host: s.bytes for s in self.streams}
+
+
+def multistream_download(
+    context: Context,
+    url,
+    params: Optional[RequestParams] = None,
+    metalink: Optional[Metalink] = None,
+    metalink_url=None,
+):
+    """Effect op: download ``url`` from all its replicas in parallel.
+
+    The Metalink is fetched from ``metalink_url`` (or the primary) when
+    not supplied. Requires the Metalink to carry the file size.
+    Raises :class:`AllReplicasFailed` when chunks remain after every
+    stream died, :class:`ChecksumMismatch` when verification fails.
+    """
+    params = params or context.params
+    primary = url if isinstance(url, Url) else Url.parse(url)
+
+    if metalink is None:
+        source = metalink_url or primary
+        if not isinstance(source, Url):
+            source = Url.parse(source)
+        metalink = yield from DavFile(
+            context, source, params
+        ).get_metalink()
+
+    entry = metalink.single()
+    if entry.size is None:
+        raise RequestError(
+            f"{primary.path}: metalink lacks a size, cannot chunk"
+        )
+    size = entry.size
+    replicas = resolve_replicas(metalink, primary)
+    replicas = [
+        replica
+        for replica in replicas
+        if not context.is_blacklisted(replica.origin)
+    ]
+    if not replicas:
+        raise AllReplicasFailed(primary.path, [])
+    replicas = replicas[: params.multistream_max_streams]
+
+    chunk_size = params.multistream_chunk
+    queue = deque(
+        (offset, min(chunk_size, size - offset))
+        for offset in range(0, size, chunk_size)
+    )
+    assembly = bytearray(size)
+    stats = [StreamStats(replica) for replica in replicas]
+
+    def worker(replica: Url, stat: StreamStats):
+        handle = DavFile(context, replica, params)
+        while True:
+            try:
+                offset, length = queue.popleft()
+            except IndexError:
+                return  # no chunks left (popleft is atomic under threads)
+            try:
+                data = yield from handle.pread(offset, length)
+            except FAILOVER_ERRORS:
+                # Put the chunk back for the surviving streams.
+                queue.appendleft((offset, length))
+                stat.failed = True
+                context.blacklist(replica.origin)
+                return
+            if len(data) != length:
+                queue.appendleft((offset, length))
+                stat.failed = True
+                return
+            assembly[offset : offset + length] = data
+            stat.chunks += 1
+            stat.bytes += length
+
+    if size > 0:
+        tasks = []
+        for replica, stat in zip(replicas, stats):
+            task = yield Spawn(
+                worker(replica, stat), name=f"ms-{replica.host}"
+            )
+            tasks.append(task)
+        for task in tasks:
+            yield Join(task)
+
+    if queue:
+        raise AllReplicasFailed(
+            primary.path,
+            [(str(s.url), "stream failed") for s in stats if s.failed],
+        )
+
+    data = bytes(assembly)
+    if params.verify_checksum:
+        expected = entry.checksum("adler32")
+        if expected:
+            actual = f"{zlib.adler32(data) & 0xFFFFFFFF:08x}"
+            if actual != expected.lower():
+                raise ChecksumMismatch(primary.path, expected, actual)
+    return MultistreamResult(data, stats)

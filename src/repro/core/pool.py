@@ -1,0 +1,112 @@
+"""Dynamic connection pool with session recycling (paper Figure 2).
+
+The pool keeps idle keep-alive sessions keyed by origin
+``(scheme, host, port)``. Requests *acquire* a session (reusing a warm
+TCP connection — and its grown congestion window — whenever one is
+idle) and *release* it afterwards; dirty or non-reusable sessions are
+discarded instead of recycled. A ``threading.Lock`` makes the dispatch
+thread-safe on the socket runtime; on the single-threaded simulator it
+is simply uncontended.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Deque, Dict, Optional, Tuple
+
+from collections import deque
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """Keyed free-list of reusable sessions with usage statistics."""
+
+    def __init__(
+        self,
+        max_idle_per_origin: int = 16,
+        max_session_uses: Optional[int] = None,
+        max_session_age: Optional[float] = None,
+        clock=None,
+    ):
+        if max_idle_per_origin < 0:
+            raise ValueError("max_idle_per_origin must be >= 0")
+        self.max_idle_per_origin = max_idle_per_origin
+        self.max_session_uses = max_session_uses
+        self.max_session_age = max_session_age
+        self._clock = clock or (lambda: 0.0)
+        self._idle: Dict[Tuple, Deque] = defaultdict(deque)
+        self._lock = threading.Lock()
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "recycled": 0,
+            "discarded": 0,
+            "evicted": 0,
+        }
+
+    def acquire(self, origin: Tuple):
+        """Pop an idle reusable session for ``origin``; None on miss."""
+        with self._lock:
+            queue = self._idle.get(origin)
+            while queue:
+                session = queue.pop()  # LIFO: prefer the warmest
+                if self._expired(session):
+                    self.stats["evicted"] += 1
+                    session.discard()
+                    continue
+                if not session.reusable:
+                    self.stats["discarded"] += 1
+                    session.discard()
+                    continue
+                self.stats["hits"] += 1
+                return session
+            self.stats["misses"] += 1
+            return None
+
+    def release(self, session) -> None:
+        """Return a session after use; recycled only if clean."""
+        with self._lock:
+            if (
+                not session.reusable
+                or self._expired(session)
+                or len(self._idle[session.origin])
+                >= self.max_idle_per_origin
+            ):
+                self.stats["discarded"] += 1
+                session.discard()
+                return
+            self.stats["recycled"] += 1
+            session.last_released = self._clock()
+            self._idle[session.origin].append(session)
+
+    def _expired(self, session) -> bool:
+        if (
+            self.max_session_uses is not None
+            and session.requests_sent >= self.max_session_uses
+        ):
+            return True
+        if self.max_session_age is not None:
+            age = self._clock() - session.created_at
+            if age > self.max_session_age:
+                return True
+        return False
+
+    def idle_count(self, origin: Optional[Tuple] = None) -> int:
+        """Idle sessions for one origin (or in total)."""
+        with self._lock:
+            if origin is not None:
+                return len(self._idle.get(origin, ()))
+            return sum(len(q) for q in self._idle.values())
+
+    def clear(self) -> int:
+        """Discard every idle session; returns how many were dropped."""
+        with self._lock:
+            dropped = 0
+            for queue in self._idle.values():
+                while queue:
+                    queue.pop().discard()
+                    dropped += 1
+            self._idle.clear()
+            return dropped

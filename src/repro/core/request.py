@@ -1,0 +1,206 @@
+"""High-level request execution: pool checkout, redirects, retries.
+
+:func:`execute_request` is the davix engine every file operation goes
+through. It acquires a session from the pool (creating one on miss),
+follows redirects (a DPM head node redirecting to a disk node is the
+normal case in the paper's deployment), transparently retries stale
+keep-alive connections, and retries transient failures up to
+``params.retries`` times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.concurrency import Sleep
+from repro.core.context import Context, RequestParams
+from repro.core.session import Session, StaleSession, open_session
+from repro.errors import (
+    ConnectError,
+    ConnectionClosed,
+    HttpParseError,
+    HttpProtocolError,
+    RedirectLoopError,
+    RequestError,
+    TransferTimeout,
+)
+from repro.http import Request, Response, Url
+from repro.http.status import is_redirect, is_retriable
+from repro.net.tcp import TcpOptions
+
+__all__ = ["execute_request", "checkout_session"]
+
+#: Errors that mean "this attempt failed, the endpoint may still work".
+TRANSIENT_ERRORS = (
+    ConnectError,
+    ConnectionClosed,
+    TransferTimeout,
+    HttpParseError,
+)
+
+
+def checkout_session(context: Context, url: Url, params: RequestParams):
+    """Effect sub-op: a session for ``url`` (pooled or freshly opened).
+
+    With ``params.proxy`` set, the session targets the proxy instead:
+    one pooled connection carries traffic for every origin behind it.
+    """
+    if params.proxy is not None and url.scheme in ("http", "dav"):
+        url = Url.parse(params.proxy)
+        origin = ("proxy",) + url.origin
+    else:
+        origin = url.origin
+    session = context.pool.acquire(origin)
+    if session is not None:
+        return session
+    tcp_options = params.tcp_options
+    if tcp_options is None:
+        tcp_options = TcpOptions(connect_timeout=params.connect_timeout)
+    tls = None
+    if url.scheme in ("https", "davs"):
+        from repro.concurrency.tlsmodel import TlsPolicy
+
+        tls = params.tls if params.tls is not None else TlsPolicy()
+    session = yield from open_session(
+        origin,
+        (url.host, url.port),
+        now=context.clock(),
+        tcp_options=tcp_options,
+        tls=tls,
+    )
+    return session
+
+
+def _prepare(
+    request: Request,
+    url: Url,
+    params: RequestParams,
+    context: Context,
+) -> Request:
+    headers = request.headers.copy()
+    headers.set("Host", url.netloc)
+    headers.setdefault("User-Agent", params.user_agent)
+    target = url.target
+    if params.proxy is not None and url.scheme in ("http", "dav"):
+        target = str(url)  # absolute request-URI towards the proxy
+    for name, value in params.extra_headers:
+        headers.setdefault(name, value)
+    if params.auth_token:
+        headers.setdefault(
+            "Authorization", f"Bearer {params.auth_token}"
+        )
+    if not params.keep_alive:
+        headers.set("Connection", "close")
+    prepared = Request(
+        method=request.method,
+        target=target,
+        headers=headers,
+        body=request.body,
+        version=request.version,
+    )
+    if params.s3_credentials is not None:
+        from repro.server.s3 import sign_request
+
+        sign_request(
+            prepared,
+            params.s3_credentials,
+            date=f"{context.clock():.6f}",
+        )
+    return prepared
+
+
+def execute_request(
+    context: Context,
+    url: Url,
+    request: Request,
+    params: Optional[RequestParams] = None,
+    sink_factory: Optional[Callable[[Response], Optional[Callable]]] = None,
+):
+    """Effect op: run ``request`` against ``url`` -> (response, final_url).
+
+    ``sink_factory`` is consulted once the response head arrives; if it
+    returns a callable, body chunks stream into it instead of being
+    buffered (and ``response.body`` stays empty). Error statuses are
+    *returned*, not raised — callers map them to their own exceptions.
+    """
+    params = params or context.params
+    current = url
+    redirects = 0
+    retries_left = params.retries
+
+    while True:
+        context.bump("requests")
+        try:
+            session = yield from checkout_session(context, current, params)
+        except (ConnectError, ConnectionClosed, HttpProtocolError) as exc:
+            if retries_left > 0:
+                retries_left -= 1
+                context.bump("retries")
+                if params.retry_delay > 0:
+                    yield Sleep(params.retry_delay)
+                continue
+            raise RequestError(f"connect failed: {exc}") from exc
+
+        outgoing = _prepare(request, current, params, context)
+        try:
+            response = yield from _session_exchange(
+                session, outgoing, params, sink_factory
+            )
+        except StaleSession:
+            # The request never reached the application: always retry.
+            context.bump("retries")
+            session.discard()
+            continue
+        except TRANSIENT_ERRORS as exc:
+            session.discard()
+            if retries_left > 0:
+                retries_left -= 1
+                context.bump("retries")
+                if params.retry_delay > 0:
+                    yield Sleep(params.retry_delay)
+                continue
+            raise RequestError(str(exc)) from exc
+
+        if (
+            params.follow_redirects
+            and is_redirect(response.status)
+            and response.headers.get("Location")
+        ):
+            context.pool.release(session)
+            redirects += 1
+            context.bump("redirects_followed")
+            if redirects > params.max_redirects:
+                raise RedirectLoopError(str(url), params.max_redirects)
+            current = current.resolve(response.headers.get("Location"))
+            continue
+
+        if is_retriable(response.status) and retries_left > 0:
+            context.pool.release(session)
+            retries_left -= 1
+            context.bump("retries")
+            if params.retry_delay > 0:
+                yield Sleep(params.retry_delay)
+            continue
+
+        context.pool.release(session)
+        return response, current
+
+
+def _session_exchange(
+    session: Session,
+    request: Request,
+    params: RequestParams,
+    sink_factory,
+):
+    """One exchange on one session, with late sink selection."""
+    if sink_factory is None:
+        response = yield from session.request(
+            request, timeout=params.operation_timeout
+        )
+        return response
+    response = yield from session.request(
+        request,
+        sink_factory=sink_factory,
+        timeout=params.operation_timeout,
+    )
+    return response

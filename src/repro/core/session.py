@@ -1,0 +1,169 @@
+"""A Session: one persistent HTTP connection plus its parser state.
+
+Sessions are produced by :func:`open_session` (an effect sub-op, so the
+same code runs on the simulator and on sockets) and recycled through the
+:class:`~repro.core.pool.SessionPool`. A session records enough state to
+know whether it is safe to reuse: a half-read body, a parse error or a
+``Connection: close`` makes it *dirty* and it will be discarded instead
+of recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.concurrency import Connect, Recv, Send, Sleep
+from repro.concurrency.tlsmodel import TlsPolicy, client_handshake
+from repro.errors import ConnectionClosed, NetworkError
+from repro.http import (
+    CONNECTION_CLOSED,
+    NEED_DATA,
+    Data,
+    EndOfMessage,
+    HttpParser,
+    Request,
+    Response,
+    serialize_request,
+)
+
+__all__ = ["Session", "StaleSession", "open_session"]
+
+
+class StaleSession(NetworkError):
+    """A recycled connection died before the response started.
+
+    Safe to retry transparently on a fresh connection (the request was
+    provably not processed) — the classic keep-alive race.
+    """
+
+
+class Session:
+    """One keep-alive HTTP connection to an origin."""
+
+    def __init__(
+        self,
+        channel,
+        origin: Tuple,
+        created_at: float,
+        tls: Optional[TlsPolicy] = None,
+    ):
+        self.channel = channel
+        self.origin = origin
+        #: TLS record-layer cost model (None for plain http).
+        self.tls = tls
+        self.created_at = created_at
+        self.last_released = created_at
+        self.requests_sent = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.reusable = True
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self.origin[1]
+
+    def mark_dirty(self) -> None:
+        """Prevent this session from being recycled."""
+        self.reusable = False
+
+    def discard(self) -> None:
+        """Close the underlying connection (idempotent, non-blocking)."""
+        self.reusable = False
+        if not self._closed:
+            self._closed = True
+            try:
+                self.channel.close()
+            except Exception:  # noqa: BLE001 - best effort teardown
+                pass
+
+    # -- protocol ------------------------------------------------------------
+
+    def request(
+        self,
+        request: Request,
+        sink: Optional[Callable[[bytes], None]] = None,
+        sink_factory=None,
+        timeout: Optional[float] = None,
+    ):
+        """Effect sub-op: send ``request``, read the full response.
+
+        With ``sink`` the body is streamed into the callable and the
+        returned :class:`Response` has an empty body (used for large
+        GETs). ``sink_factory`` decides *after the head arrives* whether
+        to stream (it receives the head and returns a sink or ``None``)
+        — needed so redirect/error bodies are buffered, not streamed.
+        Raises :class:`StaleSession` when a *reused* connection turns
+        out dead before the status line arrives.
+        """
+        parser = HttpParser("client")
+        parser.expect_response_to(request.method)
+        wire = serialize_request(request)
+        reused = self.requests_sent > 0
+        self.requests_sent += 1
+        self.bytes_sent += len(wire)
+        try:
+            if self.tls is not None:
+                yield Sleep(self.tls.record_cost(len(wire)))
+            yield Send(self.channel, wire)
+        except ConnectionClosed as exc:
+            self.mark_dirty()
+            if reused:
+                raise StaleSession(str(exc)) from exc
+            raise
+
+        head: Optional[Response] = None
+        body = bytearray()
+        while True:
+            event = parser.next_event()
+            if event == NEED_DATA:
+                try:
+                    data = yield Recv(self.channel, timeout=timeout)
+                except ConnectionClosed as exc:
+                    self.mark_dirty()
+                    if reused and head is None:
+                        raise StaleSession(str(exc)) from exc
+                    raise
+                self.bytes_received += len(data)
+                if self.tls is not None and data:
+                    yield Sleep(self.tls.record_cost(len(data)))
+                parser.receive_data(data)
+                continue
+            if event == CONNECTION_CLOSED:
+                self.mark_dirty()
+                if reused and head is None:
+                    raise StaleSession("connection closed by peer")
+                raise ConnectionClosed(
+                    f"{self.host}: closed before a response"
+                )
+            if isinstance(event, Response):
+                head = event
+                if sink_factory is not None:
+                    sink = sink_factory(head)
+            elif isinstance(event, Data):
+                if sink is not None:
+                    sink(event.data)
+                else:
+                    body.extend(event.data)
+            elif isinstance(event, EndOfMessage):
+                break
+
+        assert head is not None
+        head.body = bytes(body)
+        if not head.keep_alive():
+            self.mark_dirty()
+        return head
+
+
+def open_session(
+    url_origin: Tuple,
+    endpoint: Tuple[str, int],
+    now: float,
+    tcp_options=None,
+    tls: Optional[TlsPolicy] = None,
+):
+    """Effect sub-op: connect (and TLS-handshake) into a Session."""
+    channel = yield Connect(endpoint, tcp_options)
+    if tls is not None:
+        yield from client_handshake(channel, tls)
+    return Session(channel, url_origin, created_at=now, tls=tls)

@@ -1,0 +1,188 @@
+"""Vectored-I/O planning (paper Section 2.3, Figure 3).
+
+Turns a list of scattered fragment reads (what ROOT's TTreeCache emits)
+into few HTTP multi-range requests:
+
+1. **coalesce** — sort fragments and merge those whose gap is below a
+   threshold (reading a small gap is cheaper than another range-spec);
+2. **batch** — split the coalesced ranges into requests of at most
+   ``max_ranges`` range-specs each (server DoS guards reject huge
+   Range headers);
+3. **scatter** — slice each original fragment back out of the returned
+   parts, whatever the coalescing did.
+
+All pure functions; the planning invariants are property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RequestError
+
+__all__ = [
+    "Fragment",
+    "CoalescedRange",
+    "VectorPlan",
+    "plan_vector",
+    "scatter_parts",
+]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One requested read: ``length`` bytes at ``offset``.
+
+    ``index`` is the caller's position for result ordering.
+    """
+
+    offset: int
+    length: int
+    index: int
+
+    def __post_init__(self):
+        if self.offset < 0:
+            raise ValueError("fragment offset must be >= 0")
+        if self.length <= 0:
+            raise ValueError("fragment length must be > 0")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass
+class CoalescedRange:
+    """A merged contiguous read covering one or more fragments."""
+
+    offset: int
+    length: int
+    fragments: List[Fragment] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def covers(self, fragment: Fragment) -> bool:
+        return (
+            self.offset <= fragment.offset
+            and fragment.end <= self.end
+        )
+
+
+@dataclass
+class VectorPlan:
+    """The full plan: batches of coalesced ranges."""
+
+    batches: List[List[CoalescedRange]]
+    fragments: List[Fragment]
+
+    @property
+    def total_ranges(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    @property
+    def total_request_bytes(self) -> int:
+        """Bytes the server will send (including coalescing overhead)."""
+        return sum(
+            rng.length for batch in self.batches for rng in batch
+        )
+
+    @property
+    def requested_bytes(self) -> int:
+        """Bytes the caller actually asked for."""
+        return sum(fragment.length for fragment in self.fragments)
+
+
+def plan_vector(
+    reads: Sequence[Tuple[int, int]],
+    max_ranges: int = 256,
+    gap: int = 512,
+) -> VectorPlan:
+    """Build a :class:`VectorPlan` for ``(offset, length)`` reads.
+
+    Overlapping and duplicate reads are legal; order of the input is
+    preserved in the scattered results.
+    """
+    if max_ranges < 1:
+        raise ValueError("max_ranges must be >= 1")
+    if gap < 0:
+        raise ValueError("gap must be >= 0")
+    fragments = [
+        Fragment(offset=offset, length=length, index=index)
+        for index, (offset, length) in enumerate(reads)
+    ]
+    if not fragments:
+        return VectorPlan(batches=[], fragments=[])
+
+    ordered = sorted(fragments, key=lambda f: (f.offset, f.end))
+    merged: List[CoalescedRange] = []
+    current = CoalescedRange(
+        offset=ordered[0].offset,
+        length=ordered[0].length,
+        fragments=[ordered[0]],
+    )
+    for fragment in ordered[1:]:
+        if fragment.offset <= current.end + gap:
+            current.length = max(current.end, fragment.end) - current.offset
+            current.fragments.append(fragment)
+        else:
+            merged.append(current)
+            current = CoalescedRange(
+                offset=fragment.offset,
+                length=fragment.length,
+                fragments=[fragment],
+            )
+    merged.append(current)
+
+    batches = [
+        merged[i : i + max_ranges]
+        for i in range(0, len(merged), max_ranges)
+    ]
+    return VectorPlan(batches=batches, fragments=fragments)
+
+
+def scatter_parts(
+    plan_batch: List[CoalescedRange],
+    parts: Dict[int, bytes],
+) -> Dict[int, bytes]:
+    """Slice fragments out of returned parts for one batch.
+
+    ``parts`` maps part offset -> part bytes, as decoded from a
+    multipart/byteranges body (or synthesised from a 200/206 response).
+    Returns fragment ``index -> bytes``. Raises
+    :class:`~repro.errors.RequestError` if the server's parts do not
+    cover a planned range.
+    """
+    out: Dict[int, bytes] = {}
+    for rng in plan_batch:
+        data = _find_part(parts, rng.offset, rng.length)
+        for fragment in rng.fragments:
+            start = fragment.offset - rng.offset
+            piece = data[start : start + fragment.length]
+            if len(piece) != fragment.length:
+                raise RequestError(
+                    f"server returned {len(piece)} bytes for fragment "
+                    f"at {fragment.offset} (wanted {fragment.length})"
+                )
+            out[fragment.index] = piece
+    return out
+
+
+def _find_part(parts: Dict[int, bytes], offset: int, length: int) -> bytes:
+    """The bytes of [offset, offset+length) from the returned parts."""
+    exact = parts.get(offset)
+    if exact is not None and len(exact) >= length:
+        return exact[:length]
+    for part_offset, data in parts.items():
+        if (
+            part_offset <= offset
+            and offset + length <= part_offset + len(data)
+        ):
+            start = offset - part_offset
+            return data[start : start + length]
+    raise RequestError(
+        f"server response does not cover range "
+        f"[{offset}, {offset + length})"
+    )

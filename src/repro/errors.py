@@ -1,0 +1,186 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy mirrors the error domains of the original davix toolkit
+(``DavixError`` with a status code and scope string) while adding the
+simulation- and transport-level errors that this reproduction needs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-kernel errors."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to stop :meth:`Environment.run` early."""
+
+
+class ProcessInterrupt(SimulationError):
+    """Delivered into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Network / transport errors
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for transport-level failures."""
+
+
+class ConnectError(NetworkError):
+    """Connection could not be established (host down, refused, timeout)."""
+
+
+class ConnectionClosed(NetworkError):
+    """The peer closed the connection mid-operation."""
+
+
+class TransferTimeout(NetworkError):
+    """A transfer did not complete within its deadline."""
+
+
+# ---------------------------------------------------------------------------
+# HTTP protocol errors
+# ---------------------------------------------------------------------------
+
+
+class HttpError(ReproError):
+    """Base class for HTTP protocol violations and parse failures."""
+
+
+class HttpParseError(HttpError):
+    """Malformed HTTP message on the wire."""
+
+
+class HttpProtocolError(HttpError):
+    """A well-formed message that violates protocol expectations."""
+
+
+# ---------------------------------------------------------------------------
+# davix (client library) errors — mirrors Davix::StatusCode
+# ---------------------------------------------------------------------------
+
+
+class DavixError(ReproError):
+    """Client-level error with a scope and an HTTP-ish status code.
+
+    Parameters
+    ----------
+    scope:
+        Short string identifying the subsystem ("pool", "request",
+        "failover", ...), mirroring davix's error scopes.
+    message:
+        Human-readable description.
+    status:
+        Optional HTTP status code associated with the failure.
+    """
+
+    def __init__(self, scope: str, message: str, status: int | None = None):
+        super().__init__(f"[{scope}] {message}")
+        self.scope = scope
+        self.message = message
+        self.status = status
+
+
+class RequestError(DavixError):
+    """The HTTP exchange itself failed (I/O error, bad response)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__("request", message, status)
+
+
+class RedirectLoopError(DavixError):
+    """Too many redirects while resolving a resource."""
+
+    def __init__(self, url: str, limit: int):
+        super().__init__(
+            "request", f"redirect limit {limit} exceeded for {url}"
+        )
+        self.url = url
+        self.limit = limit
+
+
+class FileNotFound(DavixError):
+    """Remote resource does not exist (HTTP 404)."""
+
+    def __init__(self, path: str):
+        super().__init__("file", f"no such remote resource: {path}", 404)
+        self.path = path
+
+
+class PermissionDenied(DavixError):
+    """Remote resource is not accessible (HTTP 401/403)."""
+
+    def __init__(self, path: str, status: int = 403):
+        super().__init__("file", f"access denied: {path}", status)
+        self.path = path
+
+
+class AllReplicasFailed(DavixError):
+    """Every replica listed by the Metalink was tried and failed."""
+
+    def __init__(self, path: str, attempts: list):
+        detail = "; ".join(str(a) for a in attempts) or "no replica listed"
+        super().__init__(
+            "failover", f"all replicas failed for {path}: {detail}"
+        )
+        self.path = path
+        self.attempts = attempts
+
+
+class ChecksumMismatch(DavixError):
+    """Downloaded content does not match the Metalink checksum."""
+
+    def __init__(self, path: str, expected: str, actual: str):
+        super().__init__(
+            "multistream",
+            f"checksum mismatch for {path}: expected {expected}, got {actual}",
+        )
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+
+# ---------------------------------------------------------------------------
+# XRootD baseline errors
+# ---------------------------------------------------------------------------
+
+
+class XrootdError(ReproError):
+    """Base class for XRootD protocol failures."""
+
+    def __init__(self, message: str, code: int | None = None):
+        super().__init__(message)
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# ROOT-like file format errors
+# ---------------------------------------------------------------------------
+
+
+class RootIOError(ReproError):
+    """Corrupt or inconsistent tree-file content."""
+
+
+class MetalinkError(ReproError):
+    """Malformed Metalink document."""

@@ -1,0 +1,19 @@
+"""GridFTP-like comparator: control channel + striped data streams.
+
+One of the HPC protocols the paper's Section 2.2 surveys ("separated
+control and data channels ... multiple data streams"). Its parallel
+streams aggregate per-connection TCP windows — useful context for the
+Figure-4 window-limit mechanism.
+"""
+
+from repro.gridftp.client import GridFtpClient
+from repro.gridftp.protocol import BlockReader, DataBlock
+from repro.gridftp.server import GridFtpServer, serve_gridftp
+
+__all__ = [
+    "GridFtpClient",
+    "BlockReader",
+    "DataBlock",
+    "GridFtpServer",
+    "serve_gridftp",
+]

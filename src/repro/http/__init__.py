@@ -1,0 +1,54 @@
+"""Sans-io HTTP/1.1 stack: messages, ranges, multipart, wire codec."""
+
+from repro.http.codec import (
+    CONNECTION_CLOSED,
+    NEED_DATA,
+    Data,
+    EndOfMessage,
+    HttpParser,
+    serialize_request,
+    serialize_response,
+    serialize_response_head,
+)
+from repro.http.headers import Headers
+from repro.http.messages import Request, Response
+from repro.http.multipart import (
+    RangePart,
+    decode_byteranges,
+    encode_byteranges,
+    make_boundary,
+)
+from repro.http.ranges import (
+    RangeSpec,
+    format_content_range,
+    format_range_header,
+    parse_content_range,
+    parse_range_header,
+    resolve_ranges,
+)
+from repro.http.uri import Url
+
+__all__ = [
+    "CONNECTION_CLOSED",
+    "NEED_DATA",
+    "Data",
+    "EndOfMessage",
+    "HttpParser",
+    "serialize_request",
+    "serialize_response",
+    "serialize_response_head",
+    "Headers",
+    "Request",
+    "Response",
+    "RangePart",
+    "decode_byteranges",
+    "encode_byteranges",
+    "make_boundary",
+    "RangeSpec",
+    "format_content_range",
+    "format_range_header",
+    "parse_content_range",
+    "parse_range_header",
+    "resolve_ranges",
+    "Url",
+]

@@ -1,0 +1,23 @@
+"""HTTP-date (IMF-fixdate) formatting and parsing."""
+
+from __future__ import annotations
+
+import calendar
+from email.utils import formatdate, parsedate_tz
+from typing import Optional
+
+__all__ = ["format_http_date", "parse_http_date"]
+
+
+def format_http_date(timestamp: float) -> str:
+    """Format a POSIX timestamp as an IMF-fixdate string (GMT)."""
+    return formatdate(timestamp, usegmt=True)
+
+
+def parse_http_date(value: str) -> Optional[float]:
+    """Parse an HTTP date into a POSIX timestamp; ``None`` on failure."""
+    parsed = parsedate_tz(value)
+    if parsed is None:
+        return None
+    tz_offset = parsed[9] or 0
+    return calendar.timegm(parsed[:9]) - tz_offset

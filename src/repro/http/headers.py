@@ -1,0 +1,121 @@
+"""Case-insensitive HTTP header multimap.
+
+Stores headers as an ordered list of ``(name, value)`` pairs, preserving
+insertion order and duplicates (required for ``Set-Cookie``-style fields
+and for faithful serialisation), with case-insensitive lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["Headers"]
+
+HeaderSource = Union[
+    "Headers", Iterable[Tuple[str, str]], dict, None
+]
+
+
+class Headers:
+    """Ordered, case-insensitive header collection."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: HeaderSource = None):
+        self._items: List[Tuple[str, str]] = []
+        if items is None:
+            return
+        if isinstance(items, Headers):
+            self._items.extend(items._items)
+        elif isinstance(items, dict):
+            for name, value in items.items():
+                self.add(name, value)
+        else:
+            for name, value in items:
+                self.add(name, value)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, name: str, value) -> None:
+        """Append a header, keeping any existing values of ``name``."""
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value) -> None:
+        """Replace every value of ``name`` with a single one."""
+        self.remove(name)
+        self.add(name, value)
+
+    def setdefault(self, name: str, value) -> None:
+        """Add the header only if ``name`` is not present."""
+        if name not in self:
+            self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        """Drop every value of ``name`` (no error if absent)."""
+        lowered = name.lower()
+        self._items = [
+            (k, v) for k, v in self._items if k.lower() != lowered
+        ]
+
+    def extend(self, items: HeaderSource) -> None:
+        for name, value in Headers(items).items():
+            self.add(name, value)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of ``name``, or ``default``."""
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """Every value of ``name``, in insertion order."""
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def get_int(self, name: str) -> Optional[int]:
+        """First value of ``name`` parsed as an integer, else ``None``."""
+        value = self.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value.strip())
+        except ValueError:
+            return None
+
+    def contains_token(self, name: str, token: str) -> bool:
+        """True if ``token`` appears in the comma-list value(s) of ``name``.
+
+        Used for ``Connection: keep-alive, ...`` style headers.
+        """
+        token = token.lower()
+        for value in self.get_all(name):
+            for part in value.split(","):
+                if part.strip().lower() == token:
+                    return True
+        return False
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        ours = [(k.lower(), v) for k, v in self._items]
+        theirs = [(k.lower(), v) for k, v in other._items]
+        return ours == theirs
+
+    def copy(self) -> "Headers":
+        return Headers(self)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

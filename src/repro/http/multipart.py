@@ -1,0 +1,160 @@
+"""``multipart/byteranges`` encoding and decoding (RFC 7233 appendix A).
+
+A 206 response to a multi-range request carries each satisfied range as
+one body part, delimited by a boundary, each part prefixed with its own
+``Content-Type`` and ``Content-Range`` headers. This is the wire format
+behind davix's vectored reads.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import HttpParseError
+from repro.http.headers import Headers
+from repro.http.ranges import format_content_range, parse_content_range
+
+__all__ = [
+    "RangePart",
+    "make_boundary",
+    "encode_byteranges",
+    "decode_byteranges",
+    "content_type_boundary",
+]
+
+_CRLF = b"\r\n"
+
+
+@dataclass(frozen=True)
+class RangePart:
+    """One part of a multipart/byteranges payload."""
+
+    offset: int
+    data: bytes
+    total: int  # size of the full representation
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+
+def make_boundary() -> str:
+    """A random boundary token (unguessable, never appears in data *by
+    construction of the encoder*, which validates)."""
+    return "byterange_" + secrets.token_hex(12)
+
+
+def encode_byteranges(
+    parts: Sequence[RangePart],
+    boundary: str,
+    content_type: str = "application/octet-stream",
+) -> bytes:
+    """Serialise parts into a multipart/byteranges body."""
+    if not parts:
+        raise ValueError("multipart body needs at least one part")
+    delim = f"--{boundary}".encode("ascii")
+    chunks: List[bytes] = []
+    for part in parts:
+        chunks.append(delim)
+        chunks.append(_CRLF)
+        chunks.append(f"Content-Type: {content_type}".encode("ascii"))
+        chunks.append(_CRLF)
+        content_range = format_content_range(
+            part.offset, part.length, part.total
+        )
+        chunks.append(f"Content-Range: {content_range}".encode("ascii"))
+        chunks.append(_CRLF)
+        chunks.append(_CRLF)
+        chunks.append(part.data)
+        chunks.append(_CRLF)
+    chunks.append(delim + b"--" + _CRLF)
+    return b"".join(chunks)
+
+
+def content_type_boundary(content_type: str) -> str:
+    """Extract the boundary parameter from a multipart Content-Type."""
+    media, _, params = content_type.partition(";")
+    if media.strip().lower() != "multipart/byteranges":
+        raise HttpParseError(
+            f"not a multipart/byteranges content type: {content_type!r}"
+        )
+    for param in params.split(";"):
+        name, _, value = param.partition("=")
+        if name.strip().lower() == "boundary":
+            value = value.strip()
+            if value.startswith('"') and value.endswith('"'):
+                value = value[1:-1]
+            if not value:
+                break
+            return value
+    raise HttpParseError(f"no boundary in content type: {content_type!r}")
+
+
+def decode_byteranges(body: bytes, boundary: str) -> List[RangePart]:
+    """Parse a multipart/byteranges body into its parts.
+
+    Raises :class:`HttpParseError` on structural violations (missing
+    terminator, missing Content-Range, truncated part).
+    """
+    delim = f"--{boundary}".encode("ascii")
+    closing = delim + b"--"
+
+    # Locate the first delimiter (a preamble is legal and ignored).
+    start = body.find(delim)
+    if start < 0:
+        raise HttpParseError("multipart body without boundary")
+
+    parts: List[RangePart] = []
+    cursor = start
+    while True:
+        if body.startswith(closing, cursor):
+            return parts
+        if not body.startswith(delim, cursor):
+            raise HttpParseError("misaligned multipart delimiter")
+        cursor += len(delim)
+        if body.startswith(_CRLF, cursor):
+            cursor += 2
+        else:
+            raise HttpParseError("delimiter not followed by CRLF")
+
+        header_end = body.find(_CRLF + _CRLF, cursor)
+        if header_end < 0:
+            raise HttpParseError("part headers not terminated")
+        headers = _parse_part_headers(body[cursor:header_end])
+        cursor = header_end + 4
+
+        content_range = headers.get("Content-Range")
+        if content_range is None:
+            raise HttpParseError("part without Content-Range")
+        offset, length, total = parse_content_range(content_range)
+        if total is None:
+            raise HttpParseError("part Content-Range without total size")
+
+        data = body[cursor : cursor + length]
+        if len(data) != length:
+            raise HttpParseError(
+                f"truncated part: expected {length} bytes, "
+                f"got {len(data)}"
+            )
+        cursor += length
+        if not body.startswith(_CRLF, cursor):
+            raise HttpParseError("part data not followed by CRLF")
+        cursor += 2
+        parts.append(RangePart(offset=offset, data=data, total=total))
+
+
+def _parse_part_headers(blob: bytes) -> Headers:
+    headers = Headers()
+    for line in blob.split(_CRLF):
+        if not line:
+            continue
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpParseError(f"malformed part header line {line!r}")
+        headers.add(
+            name.decode("ascii", "replace").strip(),
+            value.decode("ascii", "replace").strip(),
+        )
+    return headers

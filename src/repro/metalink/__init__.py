@@ -1,0 +1,21 @@
+"""Metalink (RFC 5854) support: model, parser, writer."""
+
+from repro.metalink.model import (
+    METALINK_MEDIA_TYPE,
+    METALINK_NS,
+    Metalink,
+    MetalinkFile,
+    MetalinkUrl,
+)
+from repro.metalink.parser import parse_metalink
+from repro.metalink.writer import write_metalink
+
+__all__ = [
+    "METALINK_MEDIA_TYPE",
+    "METALINK_NS",
+    "Metalink",
+    "MetalinkFile",
+    "MetalinkUrl",
+    "parse_metalink",
+    "write_metalink",
+]

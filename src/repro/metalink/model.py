@@ -1,0 +1,78 @@
+"""Metalink document model (RFC 5854 subset).
+
+A Metalink describes one online resource: its name, size, checksums and
+an ordered list of replica URLs. davix uses it for transparent replica
+fail-over and for multi-stream downloads (paper Section 2.4). WLCG
+conventions use ``adler32`` checksums, which we follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MetalinkError
+
+__all__ = ["MetalinkUrl", "MetalinkFile", "Metalink"]
+
+METALINK_NS = "urn:ietf:params:xml:ns:metalink"
+METALINK_MEDIA_TYPE = "application/metalink4+xml"
+
+
+@dataclass(frozen=True)
+class MetalinkUrl:
+    """One replica location.
+
+    Lower ``priority`` value = preferred replica (RFC 5854 §4.2.17).
+    """
+
+    url: str
+    priority: int = 1
+    location: Optional[str] = None  # ISO3166 country hint
+
+    def __post_init__(self):
+        if not self.url:
+            raise MetalinkError("replica URL must not be empty")
+        if not 1 <= self.priority <= 999999:
+            raise MetalinkError(
+                f"priority {self.priority} outside [1, 999999]"
+            )
+
+
+@dataclass
+class MetalinkFile:
+    """One described resource and its replicas."""
+
+    name: str
+    size: Optional[int] = None
+    hashes: Dict[str, str] = field(default_factory=dict)
+    urls: List[MetalinkUrl] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise MetalinkError("file name must not be empty")
+        if self.size is not None and self.size < 0:
+            raise MetalinkError("size must be >= 0")
+
+    def ordered_urls(self) -> List[MetalinkUrl]:
+        """Replicas by ascending priority, stable for equal priorities."""
+        return sorted(self.urls, key=lambda u: u.priority)
+
+    def checksum(self, algo: str) -> Optional[str]:
+        return self.hashes.get(algo.lower())
+
+
+@dataclass
+class Metalink:
+    """A whole Metalink document (one or more files)."""
+
+    files: List[MetalinkFile] = field(default_factory=list)
+    generator: str = "repro-davix/1.0"
+
+    def single(self) -> MetalinkFile:
+        """The only file entry (the common davix case)."""
+        if len(self.files) != 1:
+            raise MetalinkError(
+                f"expected exactly one file entry, got {len(self.files)}"
+            )
+        return self.files[0]

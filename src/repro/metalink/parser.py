@@ -1,0 +1,79 @@
+"""Parse RFC 5854 metalink4 XML documents."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import MetalinkError
+from repro.metalink.model import (
+    METALINK_NS,
+    Metalink,
+    MetalinkFile,
+    MetalinkUrl,
+)
+
+__all__ = ["parse_metalink"]
+
+
+def _tag(name: str) -> str:
+    return f"{{{METALINK_NS}}}{name}"
+
+
+def parse_metalink(data: bytes) -> Metalink:
+    """Parse a metalink4 document.
+
+    Raises :class:`MetalinkError` on malformed XML or missing mandatory
+    structure (root element, file names, url content).
+    """
+    try:
+        root = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise MetalinkError(f"invalid metalink XML: {exc}") from exc
+    if root.tag != _tag("metalink"):
+        raise MetalinkError(f"unexpected root element {root.tag!r}")
+
+    doc = Metalink(files=[])
+    generator = root.find(_tag("generator"))
+    if generator is not None and generator.text:
+        doc.generator = generator.text.strip()
+
+    for file_el in root.findall(_tag("file")):
+        name = file_el.get("name", "").strip()
+        if not name:
+            raise MetalinkError("file element without name attribute")
+        entry = MetalinkFile(name=name)
+
+        size_el = file_el.find(_tag("size"))
+        if size_el is not None and size_el.text:
+            try:
+                entry.size = int(size_el.text.strip())
+            except ValueError:
+                raise MetalinkError(
+                    f"non-numeric size {size_el.text!r}"
+                ) from None
+            if entry.size < 0:
+                raise MetalinkError("negative size")
+
+        for hash_el in file_el.findall(_tag("hash")):
+            algo = hash_el.get("type", "").strip().lower()
+            if algo and hash_el.text:
+                entry.hashes[algo] = hash_el.text.strip()
+
+        for url_el in file_el.findall(_tag("url")):
+            if not url_el.text or not url_el.text.strip():
+                raise MetalinkError("url element without content")
+            try:
+                priority = int(url_el.get("priority", "1"))
+            except ValueError:
+                raise MetalinkError(
+                    f"bad priority {url_el.get('priority')!r}"
+                ) from None
+            entry.urls.append(
+                MetalinkUrl(
+                    url=url_el.text.strip(),
+                    priority=priority,
+                    location=url_el.get("location"),
+                )
+            )
+        doc.files.append(entry)
+    return doc

@@ -1,0 +1,38 @@
+"""Serialise Metalink documents to RFC 5854 XML."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.metalink.model import METALINK_NS, Metalink
+
+__all__ = ["write_metalink"]
+
+
+def write_metalink(doc: Metalink) -> bytes:
+    """Render ``doc`` as a metalink4 XML document (UTF-8 bytes)."""
+    ET.register_namespace("", METALINK_NS)
+    root = ET.Element(f"{{{METALINK_NS}}}metalink")
+    generator = ET.SubElement(root, f"{{{METALINK_NS}}}generator")
+    generator.text = doc.generator
+    for entry in doc.files:
+        file_el = ET.SubElement(
+            root, f"{{{METALINK_NS}}}file", {"name": entry.name}
+        )
+        if entry.size is not None:
+            size_el = ET.SubElement(file_el, f"{{{METALINK_NS}}}size")
+            size_el.text = str(entry.size)
+        for algo, digest in sorted(entry.hashes.items()):
+            hash_el = ET.SubElement(
+                file_el, f"{{{METALINK_NS}}}hash", {"type": algo}
+            )
+            hash_el.text = digest
+        for url in entry.urls:
+            attrs = {"priority": str(url.priority)}
+            if url.location:
+                attrs["location"] = url.location
+            url_el = ET.SubElement(
+                file_el, f"{{{METALINK_NS}}}url", attrs
+            )
+            url_el.text = url.url
+    return ET.tostring(root, encoding="utf-8", xml_declaration=True)

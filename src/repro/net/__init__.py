@@ -1,0 +1,23 @@
+"""Flow-level network simulation: links, TCP model, topology, profiles."""
+
+from repro.net.link import LinkSpec, Wire
+from repro.net.network import Host, Listener, Network
+from repro.net.profiles import GEANT, LAN, PROFILES, WAN, NetProfile, build_network
+from repro.net.tcp import ConnectionSide, TcpConnection, TcpOptions
+
+__all__ = [
+    "LinkSpec",
+    "Wire",
+    "Host",
+    "Listener",
+    "Network",
+    "ConnectionSide",
+    "TcpConnection",
+    "TcpOptions",
+    "NetProfile",
+    "LAN",
+    "GEANT",
+    "WAN",
+    "PROFILES",
+    "build_network",
+]

@@ -1,0 +1,101 @@
+"""Network profiles matching the paper's three test configurations.
+
+Section 3 of the paper runs the analysis job over:
+
+* **LAN** — "CERN <-> CERN", gigabit Ethernet, latency < 5 ms;
+* **GEANT** — "UK(GLAS) <-> CERN" over the pan-European GEANT network,
+  latency < 50 ms;
+* **WAN** — "USA(BNL) <-> CERN" over the general internet, latency
+  < 300 ms.
+
+The server is a DPM storage node on a 1 Gb/s link. Effective path
+bandwidth shrinks with distance (shared academic backbones), which is
+how we calibrate absolute run times; the *shape* of the results does not
+depend on the exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import LinkSpec
+from repro.net.network import Network
+from repro.sim import Environment
+
+__all__ = ["NetProfile", "LAN", "GEANT", "WAN", "PROFILES", "build_network"]
+
+GBIT = 125_000_000  # 1 Gb/s in bytes/second
+
+
+@dataclass(frozen=True)
+class NetProfile:
+    """A named client<->server network configuration."""
+
+    name: str
+    label: str
+    spec: LinkSpec
+    #: Access-wire bandwidth of the DPM server (1 Gb/s in the paper).
+    server_bandwidth: float = float(GBIT)
+    #: Access-wire bandwidth of the worker node.
+    client_bandwidth: float = float(GBIT)
+    description: str = ""
+
+    @property
+    def rtt(self) -> float:
+        return self.spec.rtt
+
+
+LAN = NetProfile(
+    name="lan",
+    label="CERN <-> CERN",
+    spec=LinkSpec(latency=0.00025, bandwidth=float(GBIT), jitter=0.0001),
+    description="gigabit Ethernet, latency < 5 ms",
+)
+
+GEANT = NetProfile(
+    name="geant",
+    label="UK(GLAS) <-> CERN",
+    spec=LinkSpec(latency=0.020, bandwidth=0.5 * GBIT, jitter=0.002),
+    description="GEANT pan-European backbone, latency < 50 ms",
+)
+
+WAN = NetProfile(
+    name="wan",
+    label="USA(BNL) <-> CERN",
+    spec=LinkSpec(latency=0.140, bandwidth=0.2 * GBIT, jitter=0.010),
+    description="transatlantic internet path, latency < 300 ms",
+)
+
+PROFILES = {profile.name: profile for profile in (LAN, GEANT, WAN)}
+
+
+def build_network(
+    profile: NetProfile,
+    env: Environment,
+    seed: int = 0,
+    clients: int = 1,
+    servers: int = 1,
+) -> Network:
+    """Build a star topology for ``profile``.
+
+    Hosts are named ``client`` (or ``client0``, ``client1``, ... when
+    ``clients > 1``) and ``server`` (respectively ``server0``, ...); every
+    client-server pair gets the profile's link spec.
+    """
+    net = Network(env, seed=seed)
+    client_names = (
+        ["client"] if clients == 1
+        else [f"client{i}" for i in range(clients)]
+    )
+    server_names = (
+        ["server"] if servers == 1
+        else [f"server{i}" for i in range(servers)]
+    )
+    for name in client_names:
+        net.add_host(name, access_bandwidth=profile.client_bandwidth)
+    for name in server_names:
+        net.add_host(name, access_bandwidth=profile.server_bandwidth)
+    for cname in client_names:
+        for sname in server_names:
+            net.set_route(cname, sname, profile.spec)
+    return net

@@ -1,0 +1,489 @@
+"""Flow-level TCP model over the discrete-event kernel.
+
+The model reproduces the TCP behaviours the paper's analysis depends on:
+
+* three-way-handshake cost (one RTT before the first byte can be sent);
+* **slow start** from a small initial window — the reason HTTP/1.0-style
+  connection-per-request is slow (Section 2.2 of the paper);
+* congestion-window growth that *persists across requests on a kept-alive
+  connection* — the benefit davix's session recycling harvests;
+* optional **Nagle** interaction (Section 2.2 cites pipelining/Nagle side
+  effects) and idle-window reset (RFC 5681 §4.1);
+* bandwidth sharing: a burst occupies the sender's uplink and the
+  receiver's downlink wires for its serialisation time, so concurrent
+  connections queue at burst granularity.
+
+It is a *flow* model: data moves in bursts bounded by the congestion
+window, not packets; loss is modelled as an episode (retransmission delay
+plus multiplicative decrease), not per-segment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.errors import ConnectionClosed
+from repro.net.link import LinkSpec, Wire
+from repro.sim import EOF, Environment, Event, Mailbox, Signal
+
+__all__ = ["TcpOptions", "TcpConnection", "ConnectionSide"]
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Tunable parameters of the TCP model.
+
+    Defaults follow a 2014-era Linux stack: MSS 1460, initial window of
+    10 segments (RFC 6928), 4 MiB receive-window cap.
+    """
+
+    mss: int = 1460
+    initial_window_segments: int = 10
+    max_window: int = 4 * 1024 * 1024
+    ssthresh: Optional[int] = None  # None -> max_window (no loss assumed)
+    nagle: bool = False  # davix sets TCP_NODELAY; toggle for the ablation
+    idle_reset: bool = True  # RFC 5681: restart cwnd after idle
+    idle_timeout: float = 1.0
+    connect_timeout: float = 5.0
+    chunk_cap: int = 65536  # burst granularity (events per transfer knob)
+    rto: float = 0.2  # retransmission timeout for loss episodes
+
+    @property
+    def initial_window(self) -> int:
+        return self.mss * self.initial_window_segments
+
+    @property
+    def effective_ssthresh(self) -> int:
+        return self.max_window if self.ssthresh is None else self.ssthresh
+
+
+class _Write:
+    """One application write queued for transmission."""
+
+    __slots__ = ("data", "offset", "event")
+
+    def __init__(self, data: bytes, event: Event):
+        self.data = data
+        self.offset = 0
+        self.event = event
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+
+class _HalfStream:
+    """One direction of a TCP connection (sender + peer's receive side)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: LinkSpec,
+        path_wires,
+        options: TcpOptions,
+        jitter_offset: float,
+        rng,
+        name: str,
+    ):
+        self.env = env
+        self.spec = spec
+        #: Wires a burst traverses in order (store-and-forward: each is
+        #: held for the burst's serialisation time at that wire's rate).
+        self.path_wires = tuple(path_wires)
+        self.options = options
+        self.jitter_offset = jitter_offset
+        self.rng = rng
+        self.name = name
+
+        self.cwnd: float = float(
+            min(options.initial_window, options.max_window)
+        )
+        self.ssthresh: float = float(options.effective_ssthresh)
+        self.inflight = 0
+        self.bytes_sent = 0
+        self.loss_episodes = 0
+        self.last_activity = env.now
+
+        self._queue: Deque[_Write] = deque()
+        self._pending_bytes = 0
+        self._closing = False
+        self.aborted = False
+
+        self._wake = Signal(env)
+        self._acked = Signal(env)
+        self._transit = 0  # bursts still crossing the path
+        self._transit_done = Signal(env)
+
+        self.rx = Mailbox(env)
+        self.reset = False  # set on abort; EOF then means "reset", not FIN
+        self._last_delivery_at = env.now
+
+        self._process = env.process(self._sender())
+
+    # -- application-facing ------------------------------------------------
+
+    def send(self, data: bytes) -> Event:
+        """Queue ``data``; fires once accepted into the send buffer.
+
+        Mirrors ``socket.sendall`` semantics: acceptance, not delivery.
+        Actual transmission is paced by the congestion window; the send
+        buffer is unbounded in the model (the application cannot
+        out-run simulated time).
+        """
+        event = Event(self.env)
+        if self.aborted:
+            event.fail(ConnectionClosed(f"{self.name}: connection reset"))
+            event._defused = True
+            return event
+        if self._closing:
+            event.fail(ConnectionClosed(f"{self.name}: already closed"))
+            event._defused = True
+            return event
+        if not data:
+            event.succeed(0)
+            return event
+        self._queue.append(_Write(bytes(data), event))
+        self._pending_bytes += len(data)
+        self._wake.fire()
+        event.succeed(len(data))
+        return event
+
+    def close(self) -> None:
+        """Half-close: queued data is still delivered, then EOF."""
+        if self._closing or self.aborted:
+            return
+        self._closing = True
+        self._wake.fire()
+
+    def abort(self) -> None:
+        """Hard reset: pending data is discarded, receiver sees a reset."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.reset = True
+        for write in self._queue:
+            if not write.event.triggered:
+                write.event.fail(
+                    ConnectionClosed(f"{self.name}: connection reset")
+                )
+                write.event._defused = True
+        self._queue.clear()
+        self._pending_bytes = 0
+        if not self.rx.closed:
+            self.rx.close()
+        self._wake.fire()
+        self._acked.fire()
+
+    # -- sender process ------------------------------------------------------
+
+    def _take(self, limit: int) -> Tuple[bytes, list]:
+        """Dequeue up to ``limit`` bytes; returns (chunk, completed writes)."""
+        parts = []
+        completed = []
+        taken = 0
+        while taken < limit and self._queue:
+            write = self._queue[0]
+            n = min(limit - taken, write.remaining)
+            parts.append(write.data[write.offset : write.offset + n])
+            write.offset += n
+            taken += n
+            if write.remaining == 0:
+                completed.append(self._queue.popleft().event)
+        self._pending_bytes -= taken
+        return b"".join(parts), completed
+
+    def _sender(self):
+        env = self.env
+        opts = self.options
+        while True:
+            if self.aborted:
+                return
+            if not self._queue:
+                if self._closing:
+                    # FIN must trail the last data: wait for in-flight
+                    # bursts to schedule their deliveries first.
+                    while self._transit > 0:
+                        yield self._transit_done.wait()
+                    self._schedule_eof()
+                    return
+                yield self._wake.wait()
+                continue
+
+            # RFC 5681 4.1: restart from the initial window after idle.
+            if (
+                opts.idle_reset
+                and self.inflight == 0
+                and env.now - self.last_activity > opts.idle_timeout
+            ):
+                self.cwnd = float(
+                    min(opts.initial_window, opts.max_window)
+                )
+
+            while self.inflight >= self.cwnd and not self.aborted:
+                yield self._acked.wait()
+            if self.aborted:
+                return
+            if not self._queue:
+                continue
+
+            window = max(int(self.cwnd) - self.inflight, opts.mss)
+            limit = min(window, opts.chunk_cap, self._pending_bytes)
+            if (
+                opts.nagle
+                and self._pending_bytes < opts.mss
+                and self.inflight > 0
+            ):
+                # Nagle: hold sub-MSS data while anything is unacked.
+                yield self._acked.wait()
+                continue
+            chunk, completed = self._take(limit)
+            size = len(chunk)
+            self.inflight += size
+            self.last_activity = env.now
+            lost = (
+                self.spec.loss_rate > 0
+                and self.rng.random() < self.spec.loss_rate
+            )
+            # Each burst traverses the path in its own process so
+            # consecutive bursts pipeline across the wires (burst n+1
+            # occupies the uplink while burst n crosses the backbone).
+            # Per-wire FIFO keeps deliveries in order.
+            self._transit += 1
+            env.process(self._transmit(chunk, completed, lost))
+            # Yield so the transmit process reaches the first wire (and
+            # its queue slot) before the next burst is cut.
+            yield env.timeout(0)
+
+    def _transmit(self, chunk: bytes, completed, lost: bool):
+        """One burst's journey: wires, propagation, delivery, ack."""
+        env = self.env
+        opts = self.options
+        size = len(chunk)
+        duration = 0.0
+        # Store-and-forward across the path: each wire is occupied for
+        # the burst's serialisation time at *its own* rate, so a slow
+        # path does not block a fast receiver's other flows.
+        for wire in self.path_wires:
+            claim = wire.acquire()
+            yield claim
+            duration = size / wire.bandwidth
+            yield env.timeout(duration)
+            claim.release()
+            wire.record(size, duration)
+        self.bytes_sent += size
+
+        delay = self.spec.latency + self.jitter_offset
+        if lost:
+            # Loss episode: the burst is retransmitted after an RTO.
+            delay += opts.rto + duration
+            self.loss_episodes += 1
+
+        deliver_at = max(env.now + delay, self._last_delivery_at + 1e-12)
+        self._last_delivery_at = deliver_at
+        delivery = env.timeout(deliver_at - env.now)
+        delivery.callbacks.append(
+            lambda _evt, data=chunk: self._deliver(data)
+        )
+        ack = env.timeout(deliver_at - env.now + self.spec.latency)
+        ack.callbacks.append(
+            lambda _evt, n=size, was_lost=lost: self._on_ack(n, was_lost)
+        )
+        self._transit -= 1
+        self._transit_done.fire()
+
+    def _deliver(self, data: bytes) -> None:
+        if self.aborted or self.rx.closed:
+            return
+        self.rx.put(data)
+
+    def _schedule_eof(self) -> None:
+        delay = self.spec.latency + self.jitter_offset
+        deliver_at = max(
+            self.env.now + delay, self._last_delivery_at + 1e-12
+        )
+        fin = self.env.timeout(deliver_at - self.env.now)
+        fin.callbacks.append(lambda _evt: self._deliver_eof())
+
+    def _deliver_eof(self) -> None:
+        if not self.rx.closed:
+            self.rx.close()
+
+    def _on_ack(self, size: int, lost: bool) -> None:
+        self.inflight = max(0, self.inflight - size)
+        if lost:
+            # Multiplicative decrease (NewReno-ish fast recovery).
+            self.ssthresh = max(self.cwnd / 2.0, 2.0 * self.options.mss)
+            self.cwnd = self.ssthresh
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += size  # slow start: one MSS per acked MSS
+        else:
+            self.cwnd += self.options.mss * size / self.cwnd  # AIMD
+        self.cwnd = min(self.cwnd, float(self.options.max_window))
+        self.last_activity = self.env.now
+        self._acked.fire()
+
+
+class ConnectionSide:
+    """One endpoint's view of a TCP connection.
+
+    ``send``/``recv``/``close``/``abort`` mirror a socket; all blocking
+    operations return kernel events.
+    """
+
+    def __init__(
+        self,
+        conn: "TcpConnection",
+        out_half: _HalfStream,
+        in_half: _HalfStream,
+        local: str,
+        remote: Tuple[str, int],
+    ):
+        self._conn = conn
+        self._out = out_half
+        self._in = in_half
+        self.local = local
+        self.remote = remote
+        self._leftover = bytearray()
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def connection(self) -> "TcpConnection":
+        return self._conn
+
+    @property
+    def rtt(self) -> float:
+        """Base round-trip time of the path (excluding jitter)."""
+        return self._out.spec.rtt
+
+    @property
+    def cwnd(self) -> float:
+        """Current congestion window of the sending direction (bytes)."""
+        return self._out.cwnd
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._out.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._in.bytes_sent  # what the peer sent is what we received
+
+    @property
+    def closed(self) -> bool:
+        return self._out.aborted or self._out._closing
+
+    # -- I/O -------------------------------------------------------------------
+
+    def send(self, data: bytes) -> Event:
+        """Queue bytes; fires when the data has been put on the wire."""
+        return self._out.send(data)
+
+    def recv(self, max_bytes: int = 65536) -> Event:
+        """Fires with up to ``max_bytes``; ``b""`` signals clean EOF.
+
+        A reset connection fails the event with :class:`ConnectionClosed`.
+        """
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        event = Event(self._out.env)
+        if self._leftover:
+            take = bytes(self._leftover[:max_bytes])
+            del self._leftover[:max_bytes]
+            event.succeed(take)
+            return event
+        inner = self._in.rx.get()
+        inner.callbacks.append(
+            lambda evt: self._on_rx(event, evt.value, max_bytes)
+        )
+        return event
+
+    def _on_rx(self, event: Event, item, max_bytes: int) -> None:
+        if item is EOF:
+            if self._in.reset:
+                event.fail(ConnectionClosed(f"{self.local}: reset by peer"))
+            else:
+                event.succeed(b"")
+            return
+        if len(item) > max_bytes:
+            self._leftover.extend(item[max_bytes:])
+            item = item[:max_bytes]
+        event.succeed(bytes(item))
+
+    def close(self) -> None:
+        """Graceful close of our sending half (FIN after queued data)."""
+        self._out.close()
+
+    def abort(self) -> None:
+        """Reset both directions immediately."""
+        self._conn.abort()
+
+
+class TcpConnection:
+    """A bidirectional TCP connection between two simulated hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: LinkSpec,
+        client: str,
+        server: str,
+        server_port: int,
+        client_wires: Tuple[Wire, Wire],
+        server_wires: Tuple[Wire, Wire],
+        options: TcpOptions,
+        rng,
+        route_wires: Optional[Tuple[Wire, Wire]] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.options = options
+        self.client = client
+        self.server = server
+        self.server_port = server_port
+        self.established_at = env.now
+
+        jitter = rng.uniform(0, spec.jitter) if spec.jitter else 0.0
+        client_up, client_down = client_wires
+        server_up, server_down = server_wires
+        route_c2s, route_s2c = route_wires or (None, None)
+        path_c2s = [
+            wire
+            for wire in (client_up, route_c2s, server_down)
+            if wire is not None
+        ]
+        path_s2c = [
+            wire
+            for wire in (server_up, route_s2c, client_down)
+            if wire is not None
+        ]
+        self._c2s = _HalfStream(
+            env, spec, path_c2s, options, jitter, rng,
+            f"{client}->{server}",
+        )
+        self._s2c = _HalfStream(
+            env, spec, path_s2c, options, jitter, rng,
+            f"{server}->{client}",
+        )
+        self.client_side = ConnectionSide(
+            self, self._c2s, self._s2c, client, (server, server_port)
+        )
+        self.server_side = ConnectionSide(
+            self, self._s2c, self._c2s, server, (client, 0)
+        )
+
+    def abort(self) -> None:
+        """Reset the connection in both directions."""
+        self._c2s.abort()
+        self._s2c.abort()
+
+    @property
+    def aborted(self) -> bool:
+        return self._c2s.aborted and self._s2c.aborted
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection {self.client}->{self.server}:{self.server_port}>"
+        )

@@ -1,0 +1,37 @@
+"""ROOT-like columnar event I/O: tree files, TTreeCache, generators."""
+
+from repro.rootio.fetchers import DavixFetcher, XrootdFetcher
+from repro.rootio.generator import (
+    BranchSpec,
+    DatasetSpec,
+    generate_tree_bytes,
+    generate_tree_layout,
+    paper_dataset,
+)
+from repro.rootio.tree import BasketInfo, BranchMeta, TreeMeta
+from repro.rootio.treecache import TTreeCache
+from repro.rootio.treefile import (
+    LocalFetcher,
+    TreeFileReader,
+    write_tree_file,
+)
+from repro.rootio.zipfmt import compress_basket, decompress_basket
+
+__all__ = [
+    "DavixFetcher",
+    "XrootdFetcher",
+    "BranchSpec",
+    "DatasetSpec",
+    "generate_tree_bytes",
+    "generate_tree_layout",
+    "paper_dataset",
+    "BasketInfo",
+    "BranchMeta",
+    "TreeMeta",
+    "TTreeCache",
+    "LocalFetcher",
+    "TreeFileReader",
+    "write_tree_file",
+    "compress_basket",
+    "decompress_basket",
+]

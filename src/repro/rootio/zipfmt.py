@@ -1,0 +1,59 @@
+"""Basket compression codec (ROOT-style framed zlib).
+
+ROOT stores each basket as a small header plus a zlib payload; we mirror
+that: ``b"ZL" | method u8 | uncompressed u32 | compressed u32 | data``.
+The header makes truncation and corruption detectable, which the
+failure-injection tests rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from repro.errors import RootIOError
+
+__all__ = ["compress_basket", "decompress_basket", "basket_overhead"]
+
+MAGIC = b"ZL"
+METHOD_ZLIB = 1
+HEADER = struct.Struct(">2sBII")
+
+
+def basket_overhead() -> int:
+    """Bytes of framing added to each compressed basket."""
+    return HEADER.size
+
+
+def compress_basket(data: bytes, level: int = 1) -> bytes:
+    """Frame and compress one basket payload.
+
+    Level 1 mirrors ROOT's default fast setting.
+    """
+    packed = zlib.compress(data, level)
+    return HEADER.pack(MAGIC, METHOD_ZLIB, len(data), len(packed)) + packed
+
+
+def decompress_basket(blob: bytes) -> bytes:
+    """Decode one framed basket; raises :class:`RootIOError` on damage."""
+    if len(blob) < HEADER.size:
+        raise RootIOError(f"basket too short: {len(blob)} bytes")
+    magic, method, uncompressed, compressed = HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise RootIOError(f"bad basket magic {magic!r}")
+    if method != METHOD_ZLIB:
+        raise RootIOError(f"unknown compression method {method}")
+    payload = blob[HEADER.size : HEADER.size + compressed]
+    if len(payload) != compressed:
+        raise RootIOError(
+            f"truncated basket: have {len(payload)}, "
+            f"header says {compressed}"
+        )
+    try:
+        data = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise RootIOError(f"corrupt basket payload: {exc}") from exc
+    if len(data) != uncompressed:
+        raise RootIOError(
+            f"basket inflated to {len(data)}, header says {uncompressed}"
+        )
+    return data

@@ -1,0 +1,51 @@
+"""HTTP/WebDAV storage server (DPM-like) and DynaFed-like federator."""
+
+from repro.server.app import HttpServer, handle_connection, serve_forever
+from repro.server.faults import FaultAction, FaultPolicy
+from repro.server.accesslog import AccessEntry, AccessLog
+from repro.server.federation import FederationApp, ReplicaEntry
+from repro.server.handlers import ServedResponse, ServerConfig, StorageApp
+from repro.server.objectstore import (
+    BytesContent,
+    Content,
+    ObjectStore,
+    StoreError,
+    StoredObject,
+    SyntheticContent,
+    ZeroContent,
+)
+from repro.server.proxy import CacheEntry, ProxyApp
+from repro.server.realserver import real_server
+from repro.server.s3 import S3App, S3Credentials, sign_request
+from repro.server.webdav import DavResource, build_multistatus, parse_multistatus
+
+__all__ = [
+    "HttpServer",
+    "handle_connection",
+    "serve_forever",
+    "FaultAction",
+    "FaultPolicy",
+    "FederationApp",
+    "AccessEntry",
+    "AccessLog",
+    "ReplicaEntry",
+    "ServedResponse",
+    "ServerConfig",
+    "StorageApp",
+    "BytesContent",
+    "Content",
+    "ObjectStore",
+    "StoreError",
+    "StoredObject",
+    "SyntheticContent",
+    "ZeroContent",
+    "real_server",
+    "CacheEntry",
+    "ProxyApp",
+    "S3App",
+    "S3Credentials",
+    "sign_request",
+    "DavResource",
+    "build_multistatus",
+    "parse_multistatus",
+]

@@ -1,0 +1,98 @@
+"""Structured per-request access log for the storage server.
+
+Grid operations live on access logs (HammerCloud itself mines them).
+The log is a bounded ring buffer of structured entries with an
+Apache-common-log-format renderer, plus simple aggregations the
+benchmarks and operators want (per-method counts, byte totals,
+latency percentiles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["AccessEntry", "AccessLog"]
+
+
+@dataclass(frozen=True)
+class AccessEntry:
+    """One served request."""
+
+    timestamp: float
+    client: str
+    method: str
+    path: str
+    status: int
+    bytes_sent: int
+    duration: float
+
+    def common_log_format(self) -> str:
+        """Apache CLF-style rendering (timestamp as simulated seconds)."""
+        return (
+            f'{self.client} - - [{self.timestamp:.6f}] '
+            f'"{self.method} {self.path} HTTP/1.1" '
+            f"{self.status} {self.bytes_sent} {self.duration:.6f}"
+        )
+
+
+class AccessLog:
+    """Bounded request log with aggregation helpers."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[AccessEntry] = deque(maxlen=capacity)
+        self.total_requests = 0
+        self.total_bytes = 0
+
+    def record(self, entry: AccessEntry) -> None:
+        self._entries.append(entry)
+        self.total_requests += 1
+        self.total_bytes += entry.bytes_sent
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[AccessEntry]:
+        return list(self._entries)
+
+    def tail(self, n: int = 10) -> List[AccessEntry]:
+        return list(self._entries)[-n:]
+
+    def by_status(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for entry in self._entries:
+            out[entry.status] = out.get(entry.status, 0) + 1
+        return out
+
+    def by_method(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self._entries:
+            out[entry.method] = out.get(entry.method, 0) + 1
+        return out
+
+    def error_rate(self) -> float:
+        """Fraction of logged requests with status >= 500."""
+        if not self._entries:
+            return 0.0
+        errors = sum(1 for e in self._entries if e.status >= 500)
+        return errors / len(self._entries)
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        """q-th percentile of request durations (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._entries:
+            return None
+        durations = sorted(e.duration for e in self._entries)
+        index = min(len(durations) - 1, int(q * len(durations)))
+        return durations[index]
+
+    def render(self, n: Optional[int] = None) -> str:
+        """The last n entries (all if None) in common log format."""
+        entries = self.entries if n is None else self.tail(n)
+        return "\n".join(e.common_log_format() for e in entries)

@@ -1,0 +1,230 @@
+"""Transport-facing serve loops of the storage server.
+
+Written as effect generators so the identical code serves simulated
+connections (benchmarks) and real sockets (integration tests, CLI).
+Requests on one connection are processed strictly in order — which is
+exactly HTTP/1.1 semantics, and what gives pipelining its head-of-line
+blocking in the FIG1-HOL experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.concurrency import (
+    Abort,
+    Accept,
+    Close,
+    Now,
+    Recv,
+    Send,
+    Sleep,
+    Spawn,
+)
+from repro.concurrency.runtime import Runtime
+from repro.errors import (
+    ConnectionClosed,
+    HttpParseError,
+    NetworkError,
+    TransferTimeout,
+)
+from repro.http import (
+    CONNECTION_CLOSED,
+    NEED_DATA,
+    Data,
+    EndOfMessage,
+    HttpParser,
+    Request,
+    serialize_response,
+    serialize_response_head,
+)
+from repro.server.handlers import ServedResponse, StorageApp
+
+__all__ = ["serve_forever", "handle_connection", "HttpServer"]
+
+#: Server-side keep-alive idle timeout (seconds).
+KEEPALIVE_IDLE = 30.0
+
+
+def serve_forever(listener, app: StorageApp):
+    """Accept loop: one spawned handler per connection."""
+    while True:
+        try:
+            channel = yield Accept(listener)
+        except (NetworkError, ConnectionClosed):
+            return  # listener closed: shut down
+        yield Spawn(handle_connection(channel, app), name="http-conn")
+
+
+def handle_connection(channel, app: StorageApp):
+    """Serve HTTP/1.x requests on one connection until close."""
+    parser = HttpParser("server")
+    config = app.config
+    served = 0
+    aborted = False
+    if config.tls is not None:
+        from repro.concurrency.tlsmodel import server_handshake
+        from repro.errors import HttpProtocolError
+
+        try:
+            yield from server_handshake(channel, config.tls)
+        except (
+            ConnectionClosed,
+            HttpProtocolError,
+            TransferTimeout,
+        ):
+            yield Close(channel)
+            return
+    try:
+        while True:
+            request = yield from _read_request(
+                channel, parser, config.keepalive_idle
+            )
+            if request is None:
+                break
+            served += 1
+            keep = (
+                config.keepalive
+                and request.wants_keep_alive()
+                and (
+                    config.max_requests_per_connection is None
+                    or served < config.max_requests_per_connection
+                )
+            )
+            started = yield Now()
+            result = app.handle(request)
+            if result.deferred is not None:
+                # Deferred operations (e.g. third-party copy) do their
+                # own remote I/O before the response exists.
+                result.response = yield from result.deferred()
+            if config.tls is not None:
+                # Record-layer crypto on the server's side.
+                result.service_time += config.tls.record_cost(
+                    result.body_length + len(request.body)
+                )
+            if result.service_time > 0:
+                yield Sleep(result.service_time)
+            if not keep:
+                result.response.headers.set("Connection", "close")
+            aborted = yield from _send_result(channel, result)
+            access_log = getattr(app, "access_log", None)
+            if access_log is not None:
+                finished = yield Now()
+                from repro.server.accesslog import AccessEntry
+
+                access_log.record(
+                    AccessEntry(
+                        timestamp=started,
+                        client=str(
+                            getattr(channel, "remote", ("?",))[0]
+                        ),
+                        method=request.method,
+                        path=request.path,
+                        status=result.response.status,
+                        bytes_sent=result.body_length,
+                        duration=finished - started,
+                    )
+                )
+            if aborted or not keep:
+                break
+    except (ConnectionClosed, HttpParseError, TransferTimeout):
+        pass  # peer went away or spoke garbage: drop the connection
+    if not aborted:
+        yield Close(channel)
+
+
+def _read_request(channel, parser: HttpParser, idle_timeout=KEEPALIVE_IDLE):
+    """Read one full request (head + body); None on clean close."""
+    head: Optional[Request] = None
+    body = bytearray()
+    while True:
+        event = parser.next_event()
+        if event == NEED_DATA:
+            data = yield Recv(channel, timeout=idle_timeout)
+            parser.receive_data(data)
+            continue
+        if event == CONNECTION_CLOSED:
+            return None
+        if isinstance(event, Request):
+            head = event
+        elif isinstance(event, Data):
+            body.extend(event.data)
+        elif isinstance(event, EndOfMessage):
+            assert head is not None
+            head.body = bytes(body)
+            return head
+
+
+def _send_result(channel, result: ServedResponse):
+    """Send a ServedResponse; returns True if the connection was reset."""
+    response = result.response
+    if result.stream is None:
+        wire = serialize_response(response)
+        if result.reset_midway:
+            yield Send(channel, wire[: max(1, len(wire) // 2)])
+            yield Abort(channel)
+            return True
+        yield Send(channel, wire)
+        return False
+
+    head = serialize_response_head(
+        response, content_length=result.stream_length
+    )
+    yield Send(channel, head)
+    # A reset fault cuts the body at the halfway mark, whatever the
+    # chunking.
+    limit = (
+        result.stream_length // 2 if result.reset_midway else None
+    )
+    sent = 0
+    for piece in result.stream:
+        if limit is not None and sent + len(piece) > limit:
+            take = limit - sent
+            if take > 0:
+                yield Send(channel, piece[:take])
+            yield Abort(channel)
+            return True
+        yield Send(channel, piece)
+        sent += len(piece)
+    if limit is not None:
+        yield Abort(channel)
+        return True
+    return False
+
+
+class HttpServer:
+    """Bind a :class:`StorageApp` to a runtime and port."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        app: StorageApp,
+        port: int = 80,
+        host: Optional[str] = None,
+    ):
+        self.runtime = runtime
+        self.app = app
+        self.port = port
+        self.host = host
+        self.listener = None
+        self._task = None
+
+    def start(self) -> "HttpServer":
+        """Open the listener and spawn the accept loop."""
+        self.listener = self.runtime.listen(self.port, self.host)
+        actual = getattr(self.listener, "port", self.port)
+        self.port = actual
+        self._task = self.runtime.spawn(
+            serve_forever(self.listener, self.app), name="http-server"
+        )
+        return self
+
+    def stop(self) -> None:
+        if self.listener is not None:
+            self.listener.close()
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

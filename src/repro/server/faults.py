@@ -1,0 +1,82 @@
+"""Deterministic fault injection for the storage server.
+
+Replaces "a grid site is down / overloaded" in the paper's world: the
+failover and resiliency experiments (Section 2.4) drive the client
+against servers wearing one of these policies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+__all__ = ["FaultAction", "FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What the server should do to the current request.
+
+    ``kind`` is one of:
+
+    * ``"error"`` — answer with ``status`` instead of serving;
+    * ``"reset"`` — send a partial response, then reset the connection;
+    * ``"slow"`` — serve correctly after ``delay`` extra seconds.
+    """
+
+    kind: str
+    status: int = 503
+    delay: float = 0.0
+
+
+@dataclass
+class FaultPolicy:
+    """Probabilistic per-request fault source (seeded, reproducible).
+
+    Probabilities are evaluated in order error -> reset -> slow; at most
+    one action fires per request. ``broken_paths`` always fail with
+    ``error_status`` regardless of probabilities.
+    """
+
+    error_rate: float = 0.0
+    error_status: int = 503
+    reset_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_delay: float = 1.0
+    broken_paths: Set[str] = field(default_factory=set)
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("error_rate", "reset_rate", "slow_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+        self.injected = {"error": 0, "reset": 0, "slow": 0}
+
+    def break_path(self, path: str) -> None:
+        """Make every request for ``path`` fail with ``error_status``."""
+        self.broken_paths.add(path)
+
+    def heal_path(self, path: str) -> None:
+        self.broken_paths.discard(path)
+
+    def next_action(self, path: str) -> Optional[FaultAction]:
+        """Decide the fault (if any) for a request on ``path``."""
+        if path in self.broken_paths:
+            self.injected["error"] += 1
+            return FaultAction("error", status=self.error_status)
+        roll = self._rng.random()
+        if roll < self.error_rate:
+            self.injected["error"] += 1
+            return FaultAction("error", status=self.error_status)
+        roll -= self.error_rate
+        if roll < self.reset_rate:
+            self.injected["reset"] += 1
+            return FaultAction("reset")
+        roll -= self.reset_rate
+        if roll < self.slow_rate:
+            self.injected["slow"] += 1
+            return FaultAction("slow", delay=self.slow_delay)
+        return None

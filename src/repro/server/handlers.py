@@ -1,0 +1,456 @@
+"""Pure request handlers of the storage server (a DPM-like endpoint).
+
+:class:`StorageApp.handle` maps one :class:`~repro.http.Request` to a
+:class:`ServedResponse` without any I/O — the serve loops in
+:mod:`repro.server.app` drive it over simulated or real transports.
+
+Supported surface: GET (full / single range / multi range / metalink
+negotiation / redirect mode), HEAD, PUT (with If-Match), DELETE,
+OPTIONS, MKCOL and PROPFIND (depth 0/1) — the set davix exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.http import Headers, Request, Response, Url
+from repro.metalink import (
+    METALINK_MEDIA_TYPE,
+    Metalink,
+    MetalinkFile,
+    MetalinkUrl,
+    write_metalink,
+)
+from repro.server.faults import FaultPolicy
+from repro.server.objectstore import ObjectStore, StoreError
+from repro.server.rangeserver import plan_range_response
+from repro.server.webdav import DavResource, build_multistatus
+
+__all__ = ["ServerConfig", "ServedResponse", "StorageApp"]
+
+
+@dataclass
+class ServerConfig:
+    """Behavioural knobs of the storage server."""
+
+    server_name: str = "repro-dpm/1.0"
+    #: Honour HTTP keep-alive (off = HTTP/1.0-style close per request).
+    keepalive: bool = True
+    #: Close the connection after this many requests (None = unlimited).
+    max_requests_per_connection: Optional[int] = None
+    #: Close kept-alive connections idle for longer than this (seconds).
+    keepalive_idle: float = 30.0
+    #: Per-request fixed service overhead in seconds (CPU + queueing).
+    service_overhead: float = 0.0005
+    #: Storage backend streaming rate in bytes/second (disk array).
+    disk_bandwidth: float = 400e6
+    #: Advertise and honour multi-range requests.
+    multirange: bool = True
+    #: Ranges beyond this count are answered with the full object.
+    max_ranges: int = 256
+    #: DPM head-node mode: redirect data requests to this base URL.
+    redirect_base: Optional[str] = None
+    #: Bytes the server sends per write call when streaming.
+    send_chunk: int = 262144
+    #: TLS cost model; None = plain http (see concurrency.tlsmodel).
+    tls: Optional[object] = None
+
+
+@dataclass
+class ServedResponse:
+    """A response plus serving directives for the connection loop."""
+
+    response: Response
+    #: Lazily generated body chunks (used instead of ``response.body``).
+    stream: Optional[Iterator[bytes]] = None
+    #: Total body size when streaming.
+    stream_length: int = 0
+    #: Simulated service time the loop must Sleep before replying.
+    service_time: float = 0.0
+    #: Reset the connection after sending ~half the body (fault).
+    reset_midway: bool = False
+    #: Deferred work: an effect sub-op the connection loop runs before
+    #: replying; its return value (a Response) replaces ``response``.
+    #: Used by operations that must do I/O of their own, e.g. HTTP
+    #: third-party copy pulling from a remote source.
+    deferred: Optional[Callable] = None
+
+    @property
+    def body_length(self) -> int:
+        return (
+            self.stream_length
+            if self.stream is not None
+            else len(self.response.body)
+        )
+
+
+class StorageApp:
+    """The storage service: object store + HTTP semantics + faults."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: Optional[ServerConfig] = None,
+        replicas: Optional[Dict[str, List[str]]] = None,
+        faults: Optional[FaultPolicy] = None,
+    ):
+        self.store = store
+        self.config = config or ServerConfig()
+        #: path -> replica URLs advertised via Metalink.
+        self.replicas = replicas if replicas is not None else {}
+        self.faults = faults
+        self.requests_handled = 0
+        self.requests_by_method: Dict[str, int] = {}
+        #: davix context for third-party-copy pulls (lazy).
+        self._tpc_context = None
+        #: Optional :class:`~repro.server.accesslog.AccessLog`.
+        self.access_log = None
+
+    # -- entry point -----------------------------------------------------------
+
+    def handle(self, request: Request) -> ServedResponse:
+        """Compute the response for ``request`` (no I/O, no blocking)."""
+        self.requests_handled += 1
+        self.requests_by_method[request.method] = (
+            self.requests_by_method.get(request.method, 0) + 1
+        )
+
+        fault = (
+            self.faults.next_action(request.path) if self.faults else None
+        )
+        if fault is not None and fault.kind == "error":
+            return self._finish(
+                request, self._error(fault.status, "injected fault")
+            )
+
+        handler = getattr(
+            self, f"_handle_{request.method.lower()}", None
+        )
+        if handler is None:
+            served = ServedResponse(
+                self._error(405, f"method {request.method} not allowed")
+            )
+        else:
+            try:
+                served = handler(request)
+            except StoreError as exc:
+                served = ServedResponse(self._error(409, str(exc)))
+        if not isinstance(served, ServedResponse):
+            served = ServedResponse(served)
+
+        if fault is not None:
+            if fault.kind == "slow":
+                served.service_time += fault.delay
+            elif fault.kind == "reset":
+                served.reset_midway = True
+        return self._finish(request, served)
+
+    def _finish(self, request, served) -> ServedResponse:
+        if not isinstance(served, ServedResponse):
+            served = ServedResponse(served)
+        served.response.headers.setdefault(
+            "Server", self.config.server_name
+        )
+        served.service_time += self.config.service_overhead
+        served.service_time += (
+            served.body_length / self.config.disk_bandwidth
+        )
+        return served
+
+    # -- method handlers ---------------------------------------------------------
+
+    def _handle_get(self, request: Request) -> ServedResponse:
+        if self._wants_metalink(request):
+            return ServedResponse(self._metalink_response(request))
+        redirect = self._maybe_redirect(request)
+        if redirect is not None:
+            return ServedResponse(redirect)
+        try:
+            obj = self.store.get(request.path)
+        except StoreError:
+            return ServedResponse(self._not_found(request.path))
+
+        if self._not_modified(request, obj):
+            headers = Headers([("ETag", obj.etag)])
+            return ServedResponse(Response(304, headers))
+
+        plan = plan_range_response(
+            obj,
+            request.headers.get("Range"),
+            multirange_supported=self.config.multirange,
+            max_ranges=self.config.max_ranges,
+        )
+        if plan.status == 416:
+            return ServedResponse(Response(416, plan.headers))
+        if plan.multipart_boundary is not None:
+            body = plan.build_multipart_body(obj)
+            self.store.bytes_read += plan.body_bytes
+            return ServedResponse(
+                Response(206, plan.headers, body)
+            )
+        offset, length = plan.segments[0]
+        stream = self._stream_object(obj, offset, length)
+        return ServedResponse(
+            Response(plan.status, plan.headers),
+            stream=stream,
+            stream_length=length,
+        )
+
+    def _handle_head(self, request: Request) -> ServedResponse:
+        try:
+            obj = self.store.get(request.path)
+        except StoreError:
+            return ServedResponse(self._not_found(request.path))
+        headers = Headers(
+            [
+                ("Accept-Ranges", "bytes"),
+                ("Content-Type", obj.content_type),
+                ("Content-Length", obj.size),
+                ("ETag", obj.etag),
+            ]
+        )
+        return ServedResponse(Response(200, headers))
+
+    def _handle_put(self, request: Request) -> ServedResponse:
+        if_match = request.headers.get("If-Match")
+        if if_match is not None:
+            try:
+                current = self.store.get(request.path)
+            except StoreError:
+                return ServedResponse(
+                    self._error(412, "If-Match on missing resource")
+                )
+            if current.etag != if_match:
+                return ServedResponse(
+                    self._error(412, "ETag mismatch")
+                )
+        existed = self.store.exists(request.path)
+        obj = self.store.put(
+            request.path,
+            request.body,
+            content_type=request.headers.get(
+                "Content-Type", "application/octet-stream"
+            ),
+        )
+        status = 204 if existed else 201
+        return ServedResponse(
+            Response(status, Headers([("ETag", obj.etag)]))
+        )
+
+    def _handle_delete(self, request: Request) -> ServedResponse:
+        try:
+            self.store.delete(request.path)
+        except StoreError as exc:
+            if "no such" in str(exc):
+                return ServedResponse(self._not_found(request.path))
+            return ServedResponse(self._error(409, str(exc)))
+        return ServedResponse(Response(204))
+
+    def _handle_options(self, request: Request) -> ServedResponse:
+        headers = Headers(
+            [
+                (
+                    "Allow",
+                    "GET, HEAD, PUT, DELETE, OPTIONS, PROPFIND, "
+                    "MKCOL, COPY, MOVE",
+                ),
+                ("DAV", "1"),
+                ("Accept-Ranges", "bytes"),
+            ]
+        )
+        return ServedResponse(Response(200, headers))
+
+    def _handle_mkcol(self, request: Request) -> ServedResponse:
+        try:
+            self.store.mkcol(request.path)
+        except StoreError as exc:
+            return ServedResponse(self._error(409, str(exc)))
+        return ServedResponse(Response(201))
+
+    def _handle_copy(self, request: Request) -> ServedResponse:
+        source_url = request.headers.get("Source")
+        if source_url is not None:
+            return self._third_party_copy(request, source_url)
+        return self._copy_or_move(request, remove_source=False)
+
+    def _third_party_copy(
+        self, request: Request, source_url: str
+    ) -> ServedResponse:
+        """WLCG-style HTTP third-party copy (pull mode).
+
+        The client asks *this* server to fetch ``Source`` into
+        ``request.path``; the transfer flows site-to-site without
+        crossing the client's link. The pull runs as deferred work —
+        this server acts as a davix client towards the source.
+        """
+        destination = request.path
+
+        def pull():
+            from repro.core.context import Context
+            from repro.core.file import DavFile
+            from repro.errors import DavixError, NetworkError
+
+            if self._tpc_context is None:
+                self._tpc_context = Context()
+            try:
+                data = yield from DavFile(
+                    self._tpc_context, source_url
+                ).read_all()
+            except (DavixError, NetworkError) as exc:
+                body = f"third-party copy failed: {exc}\n".encode()
+                return Response(
+                    502, Headers([("Content-Type", "text/plain")]), body
+                )
+            obj = self.store.put(destination, data)
+            return Response(201, Headers([("ETag", obj.etag)]))
+
+        return ServedResponse(Response(500), deferred=pull)
+
+    def _handle_move(self, request: Request) -> ServedResponse:
+        return self._copy_or_move(request, remove_source=True)
+
+    def _copy_or_move(
+        self, request: Request, remove_source: bool
+    ) -> ServedResponse:
+        """RFC 4918 COPY/MOVE with a Destination header."""
+        destination = request.headers.get("Destination")
+        if destination is None:
+            return ServedResponse(
+                self._error(400, "COPY/MOVE without Destination header")
+            )
+        try:
+            target = Url.parse(destination).decoded_path
+        except Exception:
+            target = destination  # tolerate a bare path
+        overwrite = request.headers.get("Overwrite", "T").upper() != "F"
+        try:
+            source = self.store.get(request.path)
+        except StoreError:
+            return ServedResponse(self._not_found(request.path))
+        existed = self.store.exists(target)
+        if existed and not overwrite:
+            return ServedResponse(
+                self._error(412, f"destination exists: {target}")
+            )
+        self.store.put(target, source.content, source.content_type)
+        if remove_source:
+            self.store.delete(request.path)
+        return ServedResponse(Response(204 if existed else 201))
+
+    def _handle_propfind(self, request: Request) -> ServedResponse:
+        depth = request.headers.get("Depth", "infinity").strip()
+        if depth not in ("0", "1"):
+            return ServedResponse(
+                self._error(403, f"Depth {depth} not supported")
+            )
+        if not self.store.exists(request.path):
+            return ServedResponse(self._not_found(request.path))
+
+        resources = [self._dav_resource(request.path)]
+        if depth == "1" and self.store.is_collection(request.path):
+            for member in self.store.list_collection(request.path):
+                resources.append(self._dav_resource(member))
+        body = build_multistatus(resources)
+        headers = Headers(
+            [("Content-Type", 'application/xml; charset="utf-8"')]
+        )
+        return ServedResponse(Response(207, headers, body))
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _stream_object(self, obj, offset: int, length: int):
+        """Yield the object range in ``send_chunk`` pieces."""
+        chunk = self.config.send_chunk
+        end = offset + length
+        position = offset
+        while position < end:
+            take = min(chunk, end - position)
+            data = obj.content.read(position, take)
+            self.store.bytes_read += len(data)
+            position += take
+            yield data
+
+    def _dav_resource(self, path: str) -> DavResource:
+        size, mtime, is_collection = self.store.stat(path)
+        etag = None
+        if not is_collection:
+            etag = self.store.get(path).etag
+        href = path + "/" if is_collection and path != "/" else path
+        return DavResource(
+            href=href,
+            is_collection=is_collection,
+            size=size,
+            mtime=mtime,
+            etag=etag,
+        )
+
+    def _wants_metalink(self, request: Request) -> bool:
+        if "metalink" in request.query.lower():
+            return True
+        accept = request.headers.get("Accept", "")
+        return METALINK_MEDIA_TYPE in accept
+
+    def _metalink_response(self, request: Request) -> Response:
+        urls = self.replicas.get(request.path)
+        if not urls:
+            return self._not_found(request.path)
+        entry = MetalinkFile(
+            name=request.path.rsplit("/", 1)[-1] or "/",
+            urls=[
+                MetalinkUrl(url=url, priority=index + 1)
+                for index, url in enumerate(urls)
+            ],
+        )
+        try:
+            obj = self.store.get(request.path)
+        except StoreError:
+            pass
+        else:
+            entry.size = obj.size
+            entry.hashes["adler32"] = obj.checksum("adler32")
+        body = write_metalink(Metalink(files=[entry]))
+        headers = Headers([("Content-Type", METALINK_MEDIA_TYPE)])
+        return Response(200, headers, body)
+
+    def _maybe_redirect(self, request: Request) -> Optional[Response]:
+        """DPM head-node mode: send data traffic to the disk node."""
+        if self.config.redirect_base is None:
+            return None
+        if "direct" in request.query.lower():
+            return None
+        target = Url.parse(self.config.redirect_base).with_path(
+            request.path, encode=False
+        )
+        location = str(target) + "?direct=1"
+        return Response(302, Headers([("Location", location)]))
+
+    def _not_modified(self, request: Request, obj) -> bool:
+        etags = request.headers.get("If-None-Match")
+        if etags is not None:
+            candidates = [tag.strip() for tag in etags.split(",")]
+            return "*" in candidates or obj.etag in candidates
+        since = request.headers.get("If-Modified-Since")
+        if since is not None:
+            from repro.http.dates import parse_http_date
+
+            threshold = parse_http_date(since)
+            if threshold is not None:
+                return obj.mtime <= threshold
+        return False
+
+    def _not_found(self, path: str) -> Response:
+        body = f"resource not found: {path}\n".encode()
+        return Response(
+            404, Headers([("Content-Type", "text/plain")]), body
+        )
+
+    def _error(self, status: int, message: str) -> Response:
+        from repro.http.status import allows_body
+
+        if not allows_body(status):
+            return Response(status)
+        body = (message + "\n").encode()
+        return Response(
+            status, Headers([("Content-Type", "text/plain")]), body
+        )

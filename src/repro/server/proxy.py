@@ -1,0 +1,270 @@
+"""Caching HTTP forward proxy.
+
+A big part of the paper's case for HTTP is "compatibility with existing
+network infrastructure and services" (Section 2.2) — squids and site
+caches that specialised protocols cannot use. This module implements
+that infrastructure piece: a forward proxy taking absolute-URI requests,
+with an LRU byte-bounded cache, ETag revalidation, and hit/miss
+accounting. The davix client targets it via
+``RequestParams(proxy=...)``.
+
+Like third-party copy, upstream fetches run as deferred work: the proxy
+is itself a davix client towards the origin servers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.http import Headers, Request, Response, Url
+from repro.server.handlers import ServedResponse, ServerConfig
+
+__all__ = ["CacheEntry", "ProxyApp"]
+
+#: Response headers the proxy forwards from the origin.
+FORWARDED_HEADERS = (
+    "Content-Type",
+    "ETag",
+    "Accept-Ranges",
+    "Content-Range",
+    "Last-Modified",
+)
+
+
+@dataclass
+class CacheEntry:
+    """One cached representation."""
+
+    status: int
+    headers: Headers
+    body: bytes
+    etag: Optional[str]
+    #: Served without revalidation until this (runtime) time.
+    fresh_until: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+class ProxyApp:
+    """Forward proxy with an LRU cache; plugs into HttpServer.
+
+    Only plain (un-ranged) GET responses with 200 status are cached —
+    ranged requests pass through, mirroring common squid configs.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        cache_bytes: int = 256 * 1024 * 1024,
+        default_ttl: float = 60.0,
+    ):
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        if default_ttl < 0:
+            raise ValueError("default_ttl must be >= 0")
+        self.config = config or ServerConfig(server_name="repro-proxy/1.0")
+        self.cache_bytes = cache_bytes
+        #: Seconds an entry is served without revalidation.
+        self.default_ttl = default_ttl
+        self._cache: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._cache_used = 0
+        self._context = None  # lazy davix context for upstream fetches
+        self.stats = {
+            "requests": 0,
+            "hits": 0,
+            "misses": 0,
+            "revalidated": 0,
+            "bypassed": 0,
+            "evictions": 0,
+        }
+
+    # -- entry point ----------------------------------------------------------
+
+    def handle(self, request: Request) -> ServedResponse:
+        self.stats["requests"] += 1
+        try:
+            target = Url.parse(request.target)
+        except Exception:
+            return ServedResponse(
+                _error(400, "proxy requires an absolute request URI")
+            )
+
+        cacheable = (
+            request.method == "GET"
+            and "Range" not in request.headers
+            and self.cache_bytes > 0
+        )
+        if not cacheable:
+            self.stats["bypassed"] += 1
+            return ServedResponse(
+                Response(500), deferred=lambda: self._relay(request, target)
+            )
+
+        cached = self._cache.get(str(target))
+        return ServedResponse(
+            Response(500),
+            deferred=lambda: self._cached_get(request, target, cached),
+        )
+
+    # -- upstream operations ----------------------------------------------------
+
+    def _client_context(self):
+        if self._context is None:
+            from repro.core.context import Context
+
+            self._context = Context()
+        return self._context
+
+    def _relay(self, request: Request, target: Url):
+        """Effect sub-op: pass-through (non-cacheable) request."""
+        from repro.core.request import execute_request
+        from repro.errors import DavixError, NetworkError
+
+        upstream = Request(
+            method=request.method,
+            target=target.target,
+            headers=_strip_hop_headers(request.headers),
+            body=request.body,
+        )
+        try:
+            response, _ = yield from execute_request(
+                self._client_context(), target, upstream
+            )
+        except (DavixError, NetworkError) as exc:
+            return _error(502, f"upstream failed: {exc}")
+        return _forwarded(response, cache_state="BYPASS")
+
+    def _cached_get(
+        self,
+        request: Request,
+        target: Url,
+        cached: Optional[CacheEntry],
+    ):
+        """Effect sub-op: cache lookup, revalidation, or miss fetch."""
+        from repro.concurrency import Now
+        from repro.core.request import execute_request
+        from repro.errors import DavixError, NetworkError
+
+        now = yield Now()
+        if cached is not None and now < cached.fresh_until:
+            self.stats["hits"] += 1
+            self._cache.move_to_end(str(target))
+            return _from_cache(cached, "HIT")
+
+        headers = _strip_hop_headers(request.headers)
+        if cached is not None and cached.etag:
+            headers.set("If-None-Match", cached.etag)
+        upstream = Request("GET", target.target, headers)
+        try:
+            response, _ = yield from execute_request(
+                self._client_context(), target, upstream
+            )
+        except (DavixError, NetworkError) as exc:
+            if cached is not None:
+                # Origin down: serve stale (squid's offline mode).
+                self.stats["hits"] += 1
+                return _from_cache(cached, "STALE")
+            return _error(502, f"upstream failed: {exc}")
+
+        if response.status == 304 and cached is not None:
+            self.stats["revalidated"] += 1
+            cached.fresh_until = now + self.default_ttl
+            self._cache.move_to_end(str(target))
+            return _from_cache(cached, "REVALIDATED")
+
+        if response.status == 200:
+            self.stats["misses"] += 1
+            self._store(str(target), response, now + self.default_ttl)
+            return _forwarded(response, cache_state="MISS")
+        return _forwarded(response, cache_state="UNCACHEABLE")
+
+    # -- cache maintenance ---------------------------------------------------------
+
+    def _store(
+        self, key: str, response: Response, fresh_until: float
+    ) -> None:
+        if len(response.body) > self.cache_bytes:
+            return  # larger than the whole cache
+        old = self._cache.pop(key, None)
+        if old is not None:
+            self._cache_used -= old.size
+        entry = CacheEntry(
+            status=response.status,
+            headers=_forwardable(response.headers),
+            body=response.body,
+            etag=response.headers.get("ETag"),
+            fresh_until=fresh_until,
+        )
+        self._cache[key] = entry
+        self._cache_used += entry.size
+        while self._cache_used > self.cache_bytes:
+            _evicted_key, evicted = self._cache.popitem(last=False)
+            self._cache_used -= evicted.size
+            self.stats["evictions"] += 1
+
+    @property
+    def cached_objects(self) -> int:
+        return len(self._cache)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cache_used
+
+    def hit_ratio(self) -> float:
+        looked_up = (
+            self.stats["hits"]
+            + self.stats["misses"]
+            + self.stats["revalidated"]
+        )
+        if looked_up == 0:
+            return 0.0
+        return (
+            self.stats["hits"] + self.stats["revalidated"]
+        ) / looked_up
+
+
+# -- helpers ----------------------------------------------------------------------
+
+
+def _strip_hop_headers(headers: Headers) -> Headers:
+    out = Headers()
+    for name, value in headers.items():
+        if name.lower() in ("connection", "host", "proxy-connection"):
+            continue
+        out.add(name, value)
+    return out
+
+
+def _forwardable(headers: Headers) -> Headers:
+    out = Headers()
+    for name in FORWARDED_HEADERS:
+        value = headers.get(name)
+        if value is not None:
+            out.set(name, value)
+    return out
+
+
+def _forwarded(response: Response, cache_state: str) -> Response:
+    headers = _forwardable(response.headers)
+    headers.set("X-Cache", cache_state)
+    headers.set("Via", "1.1 repro-proxy")
+    return Response(response.status, headers, response.body)
+
+
+def _from_cache(entry: CacheEntry, state: str) -> Response:
+    headers = entry.headers.copy()
+    headers.set("X-Cache", state)
+    headers.set("Via", "1.1 repro-proxy")
+    return Response(entry.status, headers, entry.body)
+
+
+def _error(status: int, message: str) -> Response:
+    return Response(
+        status,
+        Headers([("Content-Type", "text/plain")]),
+        (message + "\n").encode(),
+    )

@@ -1,0 +1,116 @@
+"""WebDAV PROPFIND support: multistatus building and parsing.
+
+The server answers ``PROPFIND`` with RFC 4918 ``207 Multi-Status`` XML;
+the davix client parses it for ``stat()`` and directory listings —
+exactly how the real davix implements POSIX-style metadata over HTTP.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import HttpParseError
+from repro.http.dates import format_http_date, parse_http_date
+
+__all__ = ["DavResource", "build_multistatus", "parse_multistatus"]
+
+DAV_NS = "DAV:"
+
+
+def _tag(name: str) -> str:
+    return f"{{{DAV_NS}}}{name}"
+
+
+@dataclass(frozen=True)
+class DavResource:
+    """Metadata of one resource as exchanged via PROPFIND."""
+
+    href: str
+    is_collection: bool
+    size: int = 0
+    mtime: Optional[float] = None
+    etag: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Last path segment of the href."""
+        return self.href.rstrip("/").rsplit("/", 1)[-1]
+
+
+def build_multistatus(resources: List[DavResource]) -> bytes:
+    """Render resources as a 207 Multi-Status body."""
+    ET.register_namespace("D", DAV_NS)
+    root = ET.Element(_tag("multistatus"))
+    for res in resources:
+        response = ET.SubElement(root, _tag("response"))
+        href = ET.SubElement(response, _tag("href"))
+        href.text = res.href
+        propstat = ET.SubElement(response, _tag("propstat"))
+        prop = ET.SubElement(propstat, _tag("prop"))
+
+        rtype = ET.SubElement(prop, _tag("resourcetype"))
+        if res.is_collection:
+            ET.SubElement(rtype, _tag("collection"))
+        length = ET.SubElement(prop, _tag("getcontentlength"))
+        length.text = str(res.size)
+        if res.mtime is not None:
+            modified = ET.SubElement(prop, _tag("getlastmodified"))
+            modified.text = format_http_date(res.mtime)
+        if res.etag:
+            etag = ET.SubElement(prop, _tag("getetag"))
+            etag.text = res.etag
+
+        status = ET.SubElement(propstat, _tag("status"))
+        status.text = "HTTP/1.1 200 OK"
+    return ET.tostring(root, encoding="utf-8", xml_declaration=True)
+
+
+def parse_multistatus(body: bytes) -> List[DavResource]:
+    """Parse a 207 Multi-Status body into resources."""
+    try:
+        root = ET.fromstring(body)
+    except ET.ParseError as exc:
+        raise HttpParseError(f"invalid multistatus XML: {exc}") from exc
+    if root.tag != _tag("multistatus"):
+        raise HttpParseError(f"unexpected root element {root.tag!r}")
+
+    resources = []
+    for response in root.findall(_tag("response")):
+        href_el = response.find(_tag("href"))
+        if href_el is None or not href_el.text:
+            raise HttpParseError("response without href")
+        size = 0
+        mtime = None
+        etag = None
+        is_collection = False
+        for propstat in response.findall(_tag("propstat")):
+            prop = propstat.find(_tag("prop"))
+            if prop is None:
+                continue
+            rtype = prop.find(_tag("resourcetype"))
+            if rtype is not None and rtype.find(_tag("collection")) is not None:
+                is_collection = True
+            length_el = prop.find(_tag("getcontentlength"))
+            if length_el is not None and length_el.text:
+                try:
+                    size = int(length_el.text.strip())
+                except ValueError:
+                    size = 0
+            modified_el = prop.find(_tag("getlastmodified"))
+            if modified_el is not None and modified_el.text:
+                mtime = parse_http_date(modified_el.text.strip())
+            etag_el = prop.find(_tag("getetag"))
+            if etag_el is not None and etag_el.text:
+                etag = etag_el.text.strip()
+        resources.append(
+            DavResource(
+                href=href_el.text.strip(),
+                is_collection=is_collection,
+                size=size,
+                mtime=mtime,
+                etag=etag,
+            )
+        )
+    return resources

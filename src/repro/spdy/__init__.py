@@ -1,0 +1,27 @@
+"""SPDY-like multiplexed HTTP — the alternative the paper rejects.
+
+Implements enough of SPDY's design (framed streams over one mandatory-
+TLS connection, header compression, interleaved DATA frames) to measure
+the paper's Section 2.2 trade-off against davix's connection pool.
+"""
+
+from repro.spdy.client import SpdyClient
+from repro.spdy.protocol import (
+    FLAG_FIN,
+    TYPE_DATA,
+    TYPE_HEADERS,
+    Frame,
+    FrameReader,
+)
+from repro.spdy.server import SpdyServer, serve_spdy
+
+__all__ = [
+    "SpdyClient",
+    "FLAG_FIN",
+    "TYPE_DATA",
+    "TYPE_HEADERS",
+    "Frame",
+    "FrameReader",
+    "SpdyServer",
+    "serve_spdy",
+]

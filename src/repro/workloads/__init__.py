@@ -1,0 +1,27 @@
+"""The paper's workloads: HEP analysis job, scenario runner, campaign."""
+
+from repro.workloads.analysis import (
+    DAVIX_TCP,
+    XROOTD_TCP,
+    AnalysisConfig,
+    AnalysisReport,
+    davix_analysis,
+    xrootd_analysis,
+)
+from repro.workloads.hammercloud import Campaign, CellStats, results_to_csv
+from repro.workloads.runner import TREE_PATH, Scenario, run_scenario
+
+__all__ = [
+    "DAVIX_TCP",
+    "XROOTD_TCP",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "davix_analysis",
+    "xrootd_analysis",
+    "Campaign",
+    "CellStats",
+    "results_to_csv",
+    "TREE_PATH",
+    "Scenario",
+    "run_scenario",
+]

@@ -1,0 +1,125 @@
+"""HammerCloud-style campaign: repeated executions with statistics.
+
+The paper averaged 576 HammerCloud executions over 12 days per data
+point. Simulated time is free, so the campaign runs N independent
+repetitions (different jitter seeds) per (protocol, profile) cell and
+reports the same aggregate: the mean execution time.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.profiles import NetProfile
+from repro.rootio.generator import DatasetSpec
+from repro.workloads.analysis import AnalysisConfig, AnalysisReport
+from repro.workloads.runner import Scenario, run_scenario
+
+__all__ = ["CellStats", "Campaign", "results_to_csv"]
+
+
+@dataclass
+class CellStats:
+    """Aggregate over the repetitions of one campaign cell."""
+
+    protocol: str
+    profile: str
+    reports: List[AnalysisReport] = field(default_factory=list)
+
+    @property
+    def times(self) -> List[float]:
+        return [report.wall_seconds for report in self.reports]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        return statistics.stdev(self.times)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.times)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.times)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CellStats {self.protocol}@{self.profile} "
+            f"mean={self.mean:.2f}s n={len(self.reports)}>"
+        )
+
+
+def results_to_csv(results: Dict[Tuple[str, str], "CellStats"]) -> str:
+    """Render a campaign matrix as CSV (one row per repetition)."""
+    lines = [
+        "protocol,profile,repetition,wall_seconds,events,bytes_fetched,"
+        "remote_reads,refills"
+    ]
+    for (protocol, profile), cell in sorted(results.items()):
+        for index, report in enumerate(cell.reports):
+            lines.append(
+                f"{protocol},{profile},{index},"
+                f"{report.wall_seconds:.6f},{report.events_read},"
+                f"{report.bytes_fetched},{report.remote_reads},"
+                f"{report.refills}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+class Campaign:
+    """Run the full (protocol x profile) matrix of analysis jobs."""
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        config: AnalysisConfig,
+        repetitions: int = 3,
+        base_seed: int = 42,
+        materialize: bool = False,
+    ):
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self.spec = spec
+        self.config = config
+        self.repetitions = repetitions
+        self.base_seed = base_seed
+        self.materialize = materialize
+
+    def run_cell(
+        self, protocol: str, profile: NetProfile
+    ) -> CellStats:
+        """All repetitions of one (protocol, profile) cell."""
+        stats = CellStats(protocol=protocol, profile=profile.name)
+        for repetition in range(self.repetitions):
+            scenario = Scenario(
+                profile=profile,
+                protocol=protocol,
+                spec=self.spec,
+                config=self.config,
+                seed=self.base_seed + repetition,
+                materialize=self.materialize,
+            )
+            stats.reports.append(run_scenario(scenario))
+        return stats
+
+    def run_matrix(
+        self,
+        profiles: Sequence[NetProfile],
+        protocols: Sequence[str] = ("davix", "xrootd"),
+    ) -> Dict[Tuple[str, str], CellStats]:
+        """The full matrix; keys are (protocol, profile_name)."""
+        results = {}
+        for profile in profiles:
+            for protocol in protocols:
+                results[(protocol, profile.name)] = self.run_cell(
+                    protocol, profile
+                )
+        return results

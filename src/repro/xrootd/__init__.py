@@ -1,0 +1,22 @@
+"""XRootD baseline: the HPC-specific protocol the paper compares with.
+
+Implements a simplified-but-structurally-faithful XRootD: binary
+framing with stream-id multiplexing (:mod:`repro.xrootd.protocol`), a
+data server sharing the HTTP server's object store and service model
+(:mod:`repro.xrootd.server`), an async client
+(:mod:`repro.xrootd.client`), and the sliding-window read-ahead that
+gives XRootD its WAN edge (:mod:`repro.xrootd.readahead`).
+"""
+
+from repro.xrootd.client import XrdClient, XrdFile
+from repro.xrootd.readahead import ReadAheadWindow
+from repro.xrootd.server import XrdServer, XrdServerConfig, serve_xrootd
+
+__all__ = [
+    "XrdClient",
+    "XrdFile",
+    "ReadAheadWindow",
+    "XrdServer",
+    "XrdServerConfig",
+    "serve_xrootd",
+]

@@ -1,0 +1,101 @@
+"""Sliding-window read-ahead (the paper's Section 3 explanation).
+
+The paper attributes XRootD's 17.5 % WAN advantage to "the sliding
+windows buffering algorithm of XRootD which allows to minimize the
+number of network round trips executed". This module implements it: the
+client keeps up to ``window_bytes`` of *future* reads outstanding (async
+reads multiplexed on one connection), so by the time the application
+asks for a segment its response is usually already in flight or
+arrived — latency is overlapped with computation instead of being paid
+per read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Tuple
+
+from repro.xrootd.client import XrdClient, XrdFile
+
+__all__ = ["ReadAheadWindow"]
+
+
+class ReadAheadWindow:
+    """Plan-driven sliding-window prefetcher over an XrdClient.
+
+    The application declares its future access sequence with
+    :meth:`set_plan` (ROOT knows it from the TTree structure); reads
+    that follow the plan are served from outstanding async requests.
+    Off-plan reads fall back to synchronous round trips.
+    """
+
+    def __init__(
+        self,
+        client: XrdClient,
+        file: XrdFile,
+        window_bytes: int = 8 * 1024 * 1024,
+    ):
+        if window_bytes < 1:
+            raise ValueError("window_bytes must be >= 1")
+        self.client = client
+        self.file = file
+        self.window_bytes = window_bytes
+        self._plan: Deque[Tuple[int, int]] = deque()
+        self._outstanding: Dict[Tuple[int, int], object] = {}
+        self._inflight_bytes = 0
+        self.stats = {"hits": 0, "misses": 0, "prefetched": 0}
+
+    # -- planning ------------------------------------------------------------
+
+    def set_plan(self, segments: Iterable[Tuple[int, int]]) -> None:
+        """Replace the future access plan with ``segments``."""
+        self._plan = deque(segments)
+
+    def extend_plan(self, segments: Iterable[Tuple[int, int]]) -> None:
+        self._plan.extend(segments)
+
+    @property
+    def planned(self) -> int:
+        return len(self._plan)
+
+    @property
+    def inflight_bytes(self) -> int:
+        return self._inflight_bytes
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def _top_up(self):
+        """Effect sub-op: issue planned reads while the window has room."""
+        while self._plan and self._inflight_bytes < self.window_bytes:
+            segment = self._plan.popleft()
+            if segment in self._outstanding:
+                continue
+            offset, length = segment
+            promise = yield from self.client.read_nowait(
+                self.file, offset, length
+            )
+            self._outstanding[segment] = promise
+            self._inflight_bytes += length
+            self.stats["prefetched"] += 1
+
+    def read(self, offset: int, length: int):
+        """Effect sub-op: read a segment, preferring prefetched data."""
+        yield from self._top_up()
+        segment = (offset, length)
+        promise = self._outstanding.pop(segment, None)
+        if promise is None:
+            self.stats["misses"] += 1
+            data = yield from self.client.read(self.file, offset, length)
+        else:
+            self.stats["hits"] += 1
+            data = yield from self.client.read_result(promise)
+            self._inflight_bytes -= length
+        yield from self._top_up()
+        return data
+
+    def drain(self):
+        """Effect sub-op: await every outstanding prefetch (cleanup)."""
+        for segment, promise in list(self._outstanding.items()):
+            yield from self.client.read_result(promise)
+            self._inflight_bytes -= segment[1]
+        self._outstanding.clear()

@@ -1,0 +1,220 @@
+"""XRootD-style data server over the effect runtimes.
+
+Serves the same :class:`~repro.server.objectstore.ObjectStore` as the
+HTTP storage server, with the same service-time model, so protocol
+comparisons are apples-to-apples. Requests on one connection are
+processed **concurrently** (one spawned processor each) and responses
+return out of order — the server half of XRootD's multiplexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.concurrency import (
+    Accept,
+    Close,
+    EffectLock,
+    Recv,
+    Send,
+    Sleep,
+    Spawn,
+)
+from repro.concurrency.runtime import Runtime
+from repro.errors import ConnectionClosed, NetworkError, TransferTimeout, XrootdError
+from repro.server.objectstore import ObjectStore, StoreError
+from repro.xrootd import protocol as proto
+
+__all__ = ["XrdServerConfig", "XrdServer", "serve_xrootd"]
+
+
+@dataclass
+class XrdServerConfig:
+    """Service-time model matching the HTTP ServerConfig defaults."""
+
+    service_overhead: float = 0.0005
+    disk_bandwidth: float = 400e6
+    #: Maximum chunks accepted in one readv request.
+    max_readv_chunks: int = 1024
+    #: Responses above this size are streamed as kXR_oksofar partials,
+    #: releasing the connection between frames so other streams
+    #: interleave (the multiplexing that big monolithic responses
+    #: would otherwise defeat).
+    response_chunk: int = 262_144
+
+
+class _ConnState:
+    """Per-connection open-file table and send serialisation."""
+
+    def __init__(self):
+        self.files: Dict[int, str] = {}
+        self.next_handle = 1
+        self.send_lock = EffectLock()
+
+
+class XrdServer:
+    """The XRootD data server bound to an object store."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: Optional[XrdServerConfig] = None,
+    ):
+        self.store = store
+        self.config = config or XrdServerConfig()
+        self.requests_handled = 0
+        self.bytes_served = 0
+
+    # -- serving loops ------------------------------------------------------
+
+    def serve_forever(self, listener):
+        """Effect op: accept loop."""
+        while True:
+            try:
+                channel = yield Accept(listener)
+            except (NetworkError, ConnectionClosed):
+                return
+            yield Spawn(
+                self.handle_connection(channel), name="xrootd-conn"
+            )
+
+    def handle_connection(self, channel):
+        """Effect op: deframe requests, spawn one processor each."""
+        reader = proto.FrameReader()
+        state = _ConnState()
+        try:
+            while True:
+                frame = reader.next_frame()
+                if frame is None:
+                    data = yield Recv(channel)
+                    if not data:
+                        break
+                    reader.feed(data)
+                    continue
+                streamid, reqid, payload = frame
+                yield Spawn(
+                    self._process(channel, state, streamid, reqid, payload),
+                    name=f"xrootd-req-{streamid}",
+                )
+        except (ConnectionClosed, XrootdError, TransferTimeout):
+            pass
+        yield Close(channel)
+
+    # -- request processing ------------------------------------------------------
+
+    def _process(self, channel, state, streamid, reqid, payload):
+        self.requests_handled += 1
+        try:
+            status, reply, service = self._dispatch(state, reqid, payload)
+        except (XrootdError, StoreError) as exc:
+            status = proto.STATUS_ERROR
+            reply = proto.encode_error(1, str(exc))
+            service = self.config.service_overhead
+        if service > 0:
+            yield Sleep(service)
+        chunk = self.config.response_chunk
+        try:
+            if status != proto.STATUS_OK or len(reply) <= chunk:
+                yield from self._send_frame(
+                    channel, state, streamid, status, reply
+                )
+            else:
+                # Stream the payload as oksofar partials; the send lock
+                # is released between frames so other responses
+                # interleave on the connection.
+                for position in range(0, len(reply), chunk):
+                    piece = reply[position : position + chunk]
+                    last = position + chunk >= len(reply)
+                    piece_status = (
+                        proto.STATUS_OK if last else proto.STATUS_OKSOFAR
+                    )
+                    yield from self._send_frame(
+                        channel, state, streamid, piece_status, piece
+                    )
+        except ConnectionClosed:
+            pass
+
+    def _send_frame(self, channel, state, streamid, status, payload):
+        ticket = yield from state.send_lock.acquire()
+        try:
+            yield Send(
+                channel, proto.encode_response(streamid, status, payload)
+            )
+        finally:
+            state.send_lock.release(ticket)
+
+    def _dispatch(self, state, reqid, payload):
+        """(status, reply_payload, service_time) for one request."""
+        overhead = self.config.service_overhead
+        if reqid == proto.KXR_PING:
+            return proto.STATUS_OK, b"", overhead
+
+        if reqid == proto.KXR_OPEN:
+            path = proto.decode_open(payload)
+            obj = self.store.get(path)  # raises StoreError if missing
+            handle = state.next_handle
+            state.next_handle += 1
+            state.files[handle] = path
+            return (
+                proto.STATUS_OK,
+                proto.encode_open_reply(handle, obj.size),
+                overhead,
+            )
+
+        if reqid == proto.KXR_CLOSE:
+            handle = proto.decode_close(payload)
+            state.files.pop(handle, None)
+            return proto.STATUS_OK, b"", overhead
+
+        if reqid == proto.KXR_STAT:
+            path = proto.decode_open(payload)
+            size, _mtime, is_dir = self.store.stat(path)
+            return (
+                proto.STATUS_OK,
+                proto.encode_stat_reply(size, is_dir),
+                overhead,
+            )
+
+        if reqid == proto.KXR_READ:
+            handle, offset, length = proto.decode_read(payload)
+            data = self._read(state, handle, offset, length)
+            service = overhead + len(data) / self.config.disk_bandwidth
+            return proto.STATUS_OK, data, service
+
+        if reqid == proto.KXR_READV:
+            chunks = proto.decode_readv(payload)
+            if len(chunks) > self.config.max_readv_chunks:
+                raise XrootdError(
+                    f"readv with {len(chunks)} chunks exceeds limit"
+                )
+            pieces = []
+            for handle, offset, length in chunks:
+                pieces.append(self._read(state, handle, offset, length))
+            blob = proto.encode_readv_reply(pieces)
+            service = overhead + sum(
+                len(piece) for piece in pieces
+            ) / self.config.disk_bandwidth
+            return proto.STATUS_OK, blob, service
+
+        raise XrootdError(f"unknown request id {reqid}")
+
+    def _read(self, state, handle, offset, length) -> bytes:
+        path = state.files.get(handle)
+        if path is None:
+            raise XrootdError(f"bad file handle {handle}")
+        data = self.store.read(path, offset, length)
+        self.bytes_served += len(data)
+        return data
+
+
+def serve_xrootd(
+    runtime: Runtime,
+    server: XrdServer,
+    port: int = 1094,
+    host: Optional[str] = None,
+):
+    """Open a listener and spawn the accept loop; returns the listener."""
+    listener = runtime.listen(port, host)
+    runtime.spawn(server.serve_forever(listener), name="xrootd-server")
+    return listener

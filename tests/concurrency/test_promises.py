@@ -1,0 +1,155 @@
+"""Tests for promises and the promise-chain lock on both runtimes."""
+
+import pytest
+
+from repro.concurrency import (
+    Await,
+    EffectLock,
+    Join,
+    MakePromise,
+    SimRuntime,
+    Sleep,
+    Spawn,
+    ThreadRuntime,
+)
+from repro.errors import TransferTimeout
+from repro.net import Network
+from repro.sim import Environment
+
+
+def sim_runtime():
+    env = Environment()
+    net = Network(env)
+    net.add_host("host")
+    return SimRuntime(net, "host")
+
+
+RUNTIMES = [sim_runtime, ThreadRuntime]
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_promise_resolve_from_another_task(make_runtime):
+    runtime = make_runtime()
+
+    def producer(promise):
+        yield Sleep(0.01)
+        promise.resolve("the value")
+
+    def op():
+        promise = yield MakePromise()
+        yield Spawn(producer(promise))
+        value = yield Await(promise)
+        return value
+
+    assert runtime.run(op()) == "the value"
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_promise_reject_raises_at_await(make_runtime):
+    runtime = make_runtime()
+
+    def op():
+        promise = yield MakePromise()
+        promise.reject(RuntimeError("boom"))
+        try:
+            yield Await(promise)
+        except RuntimeError as exc:
+            return str(exc)
+
+    assert runtime.run(op()) == "boom"
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_promise_resolve_before_await(make_runtime):
+    runtime = make_runtime()
+
+    def op():
+        promise = yield MakePromise()
+        promise.resolve(42)
+        assert promise.done
+        value = yield Await(promise)
+        return value
+
+    assert runtime.run(op()) == 42
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_await_timeout(make_runtime):
+    runtime = make_runtime()
+
+    def op():
+        promise = yield MakePromise()
+        try:
+            yield Await(promise, timeout=0.05)
+        except TransferTimeout:
+            return "timed out"
+
+    assert runtime.run(op()) == "timed out"
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_double_resolve_is_ignored(make_runtime):
+    runtime = make_runtime()
+
+    def op():
+        promise = yield MakePromise()
+        promise.resolve("first")
+        promise.resolve("second")
+        promise.reject(RuntimeError("late"))
+        value = yield Await(promise)
+        return value
+
+    assert runtime.run(op()) == "first"
+
+
+@pytest.mark.parametrize("make_runtime", RUNTIMES)
+def test_effect_lock_mutual_exclusion(make_runtime):
+    runtime = make_runtime()
+    lock = EffectLock()
+    log = []
+
+    def worker(tag):
+        ticket = yield from lock.acquire()
+        log.append(("enter", tag))
+        yield Sleep(0.005)
+        log.append(("exit", tag))
+        lock.release(ticket)
+
+    def op():
+        tasks = []
+        for tag in range(4):
+            task = yield Spawn(worker(tag))
+            tasks.append(task)
+        for task in tasks:
+            yield Join(task)
+
+    runtime.run(op())
+    # Critical sections never interleave: enter/exit strictly alternate.
+    for i in range(0, len(log), 2):
+        assert log[i][0] == "enter"
+        assert log[i + 1][0] == "exit"
+        assert log[i][1] == log[i + 1][1]
+    assert len(log) == 8
+
+
+def test_effect_lock_is_fifo_in_sim():
+    runtime = sim_runtime()
+    lock = EffectLock()
+    order = []
+
+    def worker(tag):
+        ticket = yield from lock.acquire()
+        order.append(tag)
+        yield Sleep(0.001)
+        lock.release(ticket)
+
+    def op():
+        tasks = []
+        for tag in range(5):
+            task = yield Spawn(worker(tag))
+            tasks.append(task)
+        for task in tasks:
+            yield Join(task)
+
+    runtime.run(op())
+    assert order == [0, 1, 2, 3, 4]

@@ -1,0 +1,237 @@
+"""The same effect-generator protocol must behave identically on the
+simulated runtime and on the real-socket runtime."""
+
+import pytest
+
+from repro.concurrency import (
+    Accept,
+    Close,
+    Connect,
+    Join,
+    Now,
+    Recv,
+    Send,
+    SimRuntime,
+    Sleep,
+    Spawn,
+    ThreadRuntime,
+)
+from repro.errors import ConnectError, TransferTimeout
+from repro.net import LinkSpec, Network
+from repro.sim import Environment
+
+
+# -- a protocol written once -------------------------------------------------
+
+
+def echo_server(listener, rounds=1):
+    """Accept `rounds` connections; echo one message each, then EOF."""
+    for _ in range(rounds):
+        channel = yield Accept(listener)
+        yield Spawn(echo_one(channel))
+
+
+def echo_one(channel):
+    buf = bytearray()
+    while b"\n" not in buf:
+        data = yield Recv(channel)
+        if not data:
+            break
+        buf.extend(data)
+    yield Send(channel, bytes(buf).upper())
+    yield Close(channel)
+
+
+def echo_client(endpoint, message):
+    channel = yield Connect(endpoint)
+    yield Send(channel, message + b"\n")
+    out = bytearray()
+    while True:
+        data = yield Recv(channel)
+        if not data:
+            break
+        out.extend(data)
+    return bytes(out)
+
+
+# -- fixtures ----------------------------------------------------------------
+
+
+def sim_world():
+    env = Environment()
+    net = Network(env, seed=5)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route("client", "server", LinkSpec(latency=0.005, bandwidth=1e8))
+    return SimRuntime(net, "client"), SimRuntime(net, "server")
+
+
+# -- cross-runtime behaviour ---------------------------------------------------
+
+
+def test_echo_on_sim_runtime():
+    client_rt, server_rt = sim_world()
+    listener = server_rt.listen(80)
+    server_rt.spawn(echo_server(listener))
+    result = client_rt.run(echo_client(("server", 80), b"hello sim"))
+    assert result == b"HELLO SIM\n"
+
+
+def test_echo_on_thread_runtime():
+    runtime = ThreadRuntime()
+    listener = runtime.listen(0)
+    server = runtime.spawn(echo_server(listener))
+    result = runtime.run(
+        echo_client(("127.0.0.1", listener.port), b"hello sockets")
+    )
+    assert result == b"HELLO SOCKETS\n"
+    runtime.join(server)
+    listener.close()
+
+
+def test_multiple_clients_both_runtimes():
+    # sim
+    client_rt, server_rt = sim_world()
+    listener = server_rt.listen(80)
+    server_rt.spawn(echo_server(listener, rounds=3))
+    tasks = [
+        client_rt.spawn(echo_client(("server", 80), b"msg%d" % i))
+        for i in range(3)
+    ]
+    results = {client_rt.join(task) for task in tasks}
+    assert results == {b"MSG0\n", b"MSG1\n", b"MSG2\n"}
+
+    # threads
+    runtime = ThreadRuntime()
+    listener = runtime.listen(0)
+    runtime.spawn(echo_server(listener, rounds=3))
+    tasks = [
+        runtime.spawn(
+            echo_client(("127.0.0.1", listener.port), b"msg%d" % i)
+        )
+        for i in range(3)
+    ]
+    results = {runtime.join(task) for task in tasks}
+    assert results == {b"MSG0\n", b"MSG1\n", b"MSG2\n"}
+    listener.close()
+
+
+def test_connect_error_raised_inside_operation():
+    def op():
+        try:
+            yield Connect(("server", 9999))
+        except ConnectError:
+            return "refused"
+
+    client_rt, _server_rt = sim_world()
+    assert client_rt.run(op()) == "refused"
+
+    runtime = ThreadRuntime(connect_timeout=0.5)
+    # Port 1 on localhost is almost certainly closed.
+    def op_real():
+        try:
+            yield Connect(("127.0.0.1", 1))
+        except ConnectError:
+            return "refused"
+
+    assert runtime.run(op_real()) == "refused"
+
+
+def test_sleep_and_now_in_sim_are_virtual():
+    client_rt, _ = sim_world()
+
+    def op():
+        start = yield Now()
+        yield Sleep(120.0)  # two simulated minutes, instant wall time
+        end = yield Now()
+        return end - start
+
+    assert client_rt.run(op()) == pytest.approx(120.0)
+
+
+def test_spawn_join_returns_value_and_propagates_failure():
+    def child_ok():
+        yield Sleep(0.001)
+        return 7
+
+    def child_boom():
+        yield Sleep(0.001)
+        raise RuntimeError("boom")
+
+    def parent():
+        ok = yield Spawn(child_ok())
+        bad = yield Spawn(child_boom())
+        value = yield Join(ok)
+        try:
+            yield Join(bad)
+        except RuntimeError:
+            return value, "caught"
+
+    client_rt, _ = sim_world()
+    assert client_rt.run(parent()) == (7, "caught")
+    assert ThreadRuntime().run(parent()) == (7, "caught")
+
+
+def test_recv_timeout_sim():
+    client_rt, server_rt = sim_world()
+    listener = server_rt.listen(80)
+
+    def silent_server():
+        channel = yield Accept(listener)
+        yield Sleep(100)
+        yield Close(channel)
+
+    def op():
+        channel = yield Connect(("server", 80))
+        try:
+            yield Recv(channel, timeout=0.5)
+        except TransferTimeout:
+            return "timed out"
+
+    server_rt.spawn(silent_server())
+    assert client_rt.run(op()) == "timed out"
+
+
+def test_recv_timeout_threads():
+    runtime = ThreadRuntime()
+    listener = runtime.listen(0)
+
+    def silent_server():
+        channel = yield Accept(listener)
+        yield Sleep(5)
+        yield Close(channel)
+
+    def op():
+        channel = yield Connect(("127.0.0.1", listener.port))
+        try:
+            yield Recv(channel, timeout=0.2)
+        except TransferTimeout:
+            return "timed out"
+
+    runtime.spawn(silent_server())
+    assert runtime.run(op()) == "timed out"
+    listener.close()
+
+
+def test_unknown_effect_rejected():
+    class Weird:
+        pass
+
+    def op():
+        yield Weird()
+
+    client_rt, _ = sim_world()
+    with pytest.raises(TypeError):
+        client_rt.run(op())
+    with pytest.raises(TypeError):
+        ThreadRuntime().run(op())
+
+
+def test_sim_runtime_validates_host():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    from repro.errors import NetworkError
+
+    with pytest.raises(NetworkError):
+        SimRuntime(net, "nope")

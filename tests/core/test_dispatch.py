@@ -1,0 +1,110 @@
+"""Tests for the pool-based parallel dispatcher (paper Figure 2)."""
+
+import pytest
+
+from repro.core import RequestParams, run_parallel
+from repro.core.file import DavFile
+from repro.errors import FileNotFound
+
+from tests.helpers import davix_world
+
+
+def test_get_many_returns_in_order():
+    client, app, store, _ = davix_world()
+    for i in range(10):
+        store.put(f"/f{i}", f"content-{i}".encode())
+    urls = [f"http://server/f{i}" for i in range(10)]
+    results = client.get_many(urls, concurrency=4)
+    assert results == [f"content-{i}".encode() for i in range(10)]
+
+
+def test_concurrency_bounds_parallel_connections():
+    client, app, store, server_rt = davix_world()
+    for i in range(12):
+        store.put(f"/f{i}", b"x" * 10_000)
+    urls = [f"http://server/f{i}" for i in range(12)]
+    client.get_many(urls, concurrency=3)
+    server = server_rt.network.host("server")
+    # The pool never needs more connections than the dispatch width.
+    assert server.counters["connections_accepted"] <= 3
+
+
+def test_pool_recycles_across_dispatched_jobs():
+    client, app, store, _ = davix_world()
+    for i in range(9):
+        store.put(f"/f{i}", b"data")
+    urls = [f"http://server/f{i}" for i in range(9)]
+    client.get_many(urls, concurrency=3)
+    stats = client.context.pool.stats
+    assert stats["misses"] <= 3
+    assert stats["hits"] >= 6
+
+
+def test_parallel_is_faster_than_serial_on_latency_bound_jobs():
+    client, app, store, _ = davix_world(latency=0.05)
+    for i in range(8):
+        store.put(f"/f{i}", b"tiny")
+    urls = [f"http://server/f{i}" for i in range(8)]
+
+    start = client.runtime.now()
+    for url in urls:
+        client.get(url)
+    serial = client.runtime.now() - start
+
+    client2, app2, store2, _ = davix_world(latency=0.05)
+    for i in range(8):
+        store2.put(f"/f{i}", b"tiny")
+    start = client2.runtime.now()
+    client2.get_many(urls, concurrency=8)
+    parallel = client2.runtime.now() - start
+    assert parallel < serial / 3
+
+
+def test_job_errors_captured_per_job():
+    client, app, store, _ = davix_world()
+    store.put("/good", b"ok")
+
+    def job(path):
+        def thunk():
+            data = yield from DavFile(
+                client.context, f"http://server{path}"
+            ).read_all()
+            return data
+
+        return thunk
+
+    results = client.runtime.run(
+        run_parallel([job("/good"), job("/bad"), job("/good")], 2)
+    )
+    assert results[0].ok and results[0].value == b"ok"
+    assert not results[1].ok
+    assert isinstance(results[1].error, FileNotFound)
+    assert results[2].ok
+    with pytest.raises(FileNotFound):
+        results[1].unwrap()
+
+
+def test_raise_first_propagates():
+    client, app, store, _ = davix_world()
+
+    def job():
+        def thunk():
+            data = yield from DavFile(
+                client.context, "http://server/missing"
+            ).read_all()
+            return data
+
+        return thunk
+
+    with pytest.raises(FileNotFound):
+        client.runtime.run(run_parallel([job()], 1, raise_first=True))
+
+
+def test_zero_jobs():
+    client, app, store, _ = davix_world()
+    assert client.runtime.run(run_parallel([], 4)) == []
+
+
+def test_bad_concurrency_rejected():
+    with pytest.raises(ValueError):
+        next(iter(run_parallel([], 0)))

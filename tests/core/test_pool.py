@@ -1,0 +1,148 @@
+"""Tests for the session pool and its recycling invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SessionPool
+
+
+class FakeSession:
+    """Pool-facing stand-in for a Session."""
+
+    def __init__(self, origin=("http", "h", 80), created_at=0.0):
+        self.origin = origin
+        self.created_at = created_at
+        self.last_released = created_at
+        self.requests_sent = 0
+        self.reusable = True
+        self.discarded = False
+
+    def discard(self):
+        self.discarded = True
+        self.reusable = False
+
+
+ORIGIN = ("http", "h", 80)
+
+
+def test_acquire_from_empty_pool_is_miss():
+    pool = SessionPool()
+    assert pool.acquire(ORIGIN) is None
+    assert pool.stats["misses"] == 1
+
+
+def test_release_then_acquire_is_hit():
+    pool = SessionPool()
+    session = FakeSession()
+    pool.release(session)
+    assert pool.acquire(ORIGIN) is session
+    assert pool.stats == {
+        "hits": 1,
+        "misses": 0,
+        "recycled": 1,
+        "discarded": 0,
+        "evicted": 0,
+    }
+
+
+def test_lifo_prefers_warmest_session():
+    pool = SessionPool()
+    old, warm = FakeSession(), FakeSession()
+    pool.release(old)
+    pool.release(warm)
+    assert pool.acquire(ORIGIN) is warm
+
+
+def test_origins_are_isolated():
+    pool = SessionPool()
+    session = FakeSession(origin=("http", "a", 80))
+    pool.release(session)
+    assert pool.acquire(("http", "b", 80)) is None
+    assert pool.acquire(("http", "a", 80)) is session
+
+
+def test_dirty_sessions_are_never_recycled():
+    pool = SessionPool()
+    session = FakeSession()
+    session.reusable = False
+    pool.release(session)
+    assert session.discarded
+    assert pool.acquire(ORIGIN) is None
+    assert pool.stats["discarded"] == 1
+
+
+def test_session_dirtied_while_idle_is_skipped():
+    pool = SessionPool()
+    session = FakeSession()
+    pool.release(session)
+    session.reusable = False  # e.g. the server dropped it
+    assert pool.acquire(ORIGIN) is None
+    assert session.discarded
+
+
+def test_max_idle_per_origin_discards_overflow():
+    pool = SessionPool(max_idle_per_origin=2)
+    sessions = [FakeSession() for _ in range(3)]
+    for session in sessions:
+        pool.release(session)
+    assert pool.idle_count(ORIGIN) == 2
+    assert sessions[2].discarded
+
+
+def test_max_uses_evicts():
+    pool = SessionPool(max_session_uses=5)
+    session = FakeSession()
+    session.requests_sent = 5
+    pool.release(session)
+    assert session.discarded
+
+
+def test_max_age_evicts_on_acquire():
+    now = {"t": 0.0}
+    pool = SessionPool(max_session_age=10.0, clock=lambda: now["t"])
+    session = FakeSession(created_at=0.0)
+    pool.release(session)
+    now["t"] = 11.0
+    assert pool.acquire(ORIGIN) is None
+    assert session.discarded
+    assert pool.stats["evicted"] == 1
+
+
+def test_clear_discards_everything():
+    pool = SessionPool()
+    sessions = [FakeSession() for _ in range(4)]
+    for session in sessions:
+        pool.release(session)
+    assert pool.clear() == 4
+    assert all(s.discarded for s in sessions)
+    assert pool.idle_count() == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SessionPool(max_idle_per_origin=-1)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+    )
+)
+def test_pool_invariant_acquired_sessions_are_clean(events):
+    """Whatever the release/acquire interleaving, an acquired session is
+    always reusable and never double-issued."""
+    pool = SessionPool(max_idle_per_origin=8)
+    live = []
+    for do_release, dirty in events:
+        if do_release:
+            session = FakeSession()
+            session.reusable = not dirty
+            pool.release(session)
+        else:
+            session = pool.acquire(ORIGIN)
+            if session is not None:
+                assert session.reusable
+                assert not session.discarded
+                assert session not in live
+                live.append(session)

@@ -1,0 +1,153 @@
+"""Tests for the DavPosix API layer."""
+
+import os
+
+import pytest
+
+from repro.core import DavPosix
+from repro.errors import DavixError, FileNotFound
+
+from tests.helpers import davix_world
+
+
+def make_posix():
+    client, app, store, _ = davix_world()
+    store.put("/data/f.bin", b"0123456789ABCDEF")
+    posix = DavPosix(client.context)
+    return client.runtime, posix, store
+
+
+def test_open_read_close():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        assert fd.size == 16
+        first = yield from posix.read(fd, 4)
+        second = yield from posix.read(fd, 4)
+        posix.close(fd)
+        return first, second
+
+    assert runtime.run(op()) == (b"0123", b"4567")
+
+
+def test_read_at_eof_returns_empty():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        posix.lseek(fd, 0, os.SEEK_END)
+        data = yield from posix.read(fd, 10)
+        return data
+
+    assert runtime.run(op()) == b""
+
+
+def test_lseek_whences():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        assert posix.lseek(fd, 10) == 10
+        assert posix.lseek(fd, -3, os.SEEK_CUR) == 7
+        assert posix.lseek(fd, -1, os.SEEK_END) == 15
+        data = yield from posix.read(fd, 10)
+        return data
+
+    assert runtime.run(op()) == b"F"
+
+
+def test_lseek_validation():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        try:
+            posix.lseek(fd, -5, os.SEEK_SET)
+        except DavixError:
+            pass
+        else:
+            raise AssertionError("negative seek accepted")
+        try:
+            posix.lseek(fd, 0, 99)
+        except ValueError:
+            return "ok"
+
+    assert runtime.run(op()) == "ok"
+
+
+def test_pread_does_not_move_cursor():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        at = yield from posix.pread(fd, 10, 3)
+        sequential = yield from posix.read(fd, 3)
+        return at, sequential
+
+    assert runtime.run(op()) == (b"ABC", b"012")
+
+
+def test_pread_vec_through_descriptor():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        chunks = yield from posix.pread_vec(fd, [(0, 2), (14, 2)])
+        return chunks
+
+    assert runtime.run(op()) == [b"01", b"EF"]
+
+
+def test_closed_descriptor_rejected():
+    runtime, posix, store = make_posix()
+
+    def op():
+        fd = yield from posix.open("http://server/data/f.bin")
+        posix.close(fd)
+        try:
+            yield from posix.read(fd, 1)
+        except DavixError:
+            return "rejected"
+
+    assert runtime.run(op()) == "rejected"
+
+
+def test_open_missing_raises():
+    runtime, posix, store = make_posix()
+
+    def op():
+        yield from posix.open("http://server/nope")
+
+    with pytest.raises(FileNotFound):
+        runtime.run(op())
+
+
+def test_open_directory_rejected():
+    runtime, posix, store = make_posix()
+    store.mkcol("/adir")
+
+    def op():
+        yield from posix.open("http://server/adir")
+
+    # HEAD on a collection 404s in our server, PROPFIND fallback is for
+    # 405; either way the open must fail.
+    with pytest.raises((DavixError, FileNotFound)):
+        runtime.run(op())
+
+
+def test_stat_unlink_mkdir_listdir():
+    runtime, posix, store = make_posix()
+
+    def op():
+        yield from posix.mkdir("http://server/newcol")
+        stat = yield from posix.stat("http://server/data/f.bin")
+        listing = yield from posix.listdir("http://server/data")
+        yield from posix.unlink("http://server/data/f.bin")
+        return stat, listing
+
+    stat, listing = runtime.run(op())
+    assert stat.size == 16
+    assert [name for name, _ in listing] == ["f.bin"]
+    assert not store.exists("/data/f.bin")
+    assert store.is_collection("/newcol")

@@ -1,0 +1,162 @@
+"""Direct unit tests of Session behaviour over the simulator."""
+
+import pytest
+
+from repro.concurrency import SimRuntime
+from repro.core import Session, StaleSession, open_session
+from repro.errors import ConnectionClosed
+from repro.http import Request
+from repro.server import HttpServer, ObjectStore, ServerConfig, StorageApp
+
+from tests.helpers import sim_world
+
+
+def session_world(config=None):
+    client_rt, server_rt = sim_world()
+    store = ObjectStore()
+    store.put("/x", b"session-test")
+    HttpServer(
+        server_rt, StorageApp(store, config=config), port=80
+    ).start()
+    return client_rt, store
+
+
+def open_to_server(client_rt):
+    def op():
+        session = yield from open_session(
+            ("http", "server", 80), ("server", 80), now=client_rt.now()
+        )
+        return session
+
+    return client_rt.run(op())
+
+
+def test_fresh_session_state():
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+    assert session.reusable
+    assert session.requests_sent == 0
+    assert session.host == "server"
+    assert session.origin == ("http", "server", 80)
+
+
+def test_request_updates_counters_and_stays_reusable():
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+
+    def op():
+        response = yield from session.request(
+            Request("GET", "/x", {"Host": "server"})
+        )
+        return response
+
+    response = client_rt.run(op())
+    assert response.status == 200
+    assert response.body == b"session-test"
+    assert session.requests_sent == 1
+    assert session.bytes_sent > 0
+    assert session.bytes_received > 0
+    assert session.reusable
+
+
+def test_connection_close_response_dirties_session():
+    client_rt, _ = session_world(config=ServerConfig(keepalive=False))
+    session = open_to_server(client_rt)
+
+    def op():
+        response = yield from session.request(
+            Request("GET", "/x", {"Host": "server"})
+        )
+        return response
+
+    response = client_rt.run(op())
+    assert response.status == 200
+    assert not session.reusable  # Connection: close seen
+
+
+def test_discard_is_idempotent():
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+    session.discard()
+    session.discard()
+    assert not session.reusable
+
+
+def test_first_use_eof_raises_connection_closed_not_stale():
+    # A *fresh* session hitting a dead peer is a hard error (no silent
+    # retry: the request may not be idempotent).
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+    client_rt.network.host("server").fail()
+
+    def op():
+        try:
+            yield from session.request(
+                Request("GET", "/x", {"Host": "server"})
+            )
+        except StaleSession:
+            return "stale"
+        except ConnectionClosed:
+            return "closed"
+
+    assert client_rt.run(op()) == "closed"
+
+
+def test_reused_session_eof_raises_stale():
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+
+    def one(label):
+        def op():
+            try:
+                response = yield from session.request(
+                    Request("GET", "/x", {"Host": "server"})
+                )
+                return response.status
+            except StaleSession:
+                return "stale"
+
+        return client_rt.run(op())
+
+    assert one("first") == 200
+    client_rt.network.host("server").fail()
+    assert one("second") == "stale"
+    assert not session.reusable
+
+
+def test_sink_receives_streamed_body():
+    client_rt, store = session_world()
+    store.put("/big", bytes(range(256)) * 1024)
+    session = open_to_server(client_rt)
+    pieces = []
+
+    def op():
+        response = yield from session.request(
+            Request("GET", "/big", {"Host": "server"}),
+            sink=pieces.append,
+        )
+        return response
+
+    response = client_rt.run(op())
+    assert response.body == b""  # streamed away
+    assert b"".join(pieces) == bytes(range(256)) * 1024
+
+
+def test_sink_factory_skips_error_bodies():
+    client_rt, _ = session_world()
+    session = open_to_server(client_rt)
+    pieces = []
+
+    def op():
+        response = yield from session.request(
+            Request("GET", "/missing", {"Host": "server"}),
+            sink_factory=lambda head: (
+                pieces.append if head.ok else None
+            ),
+        )
+        return response
+
+    response = client_rt.run(op())
+    assert response.status == 404
+    assert pieces == []  # the 404 body was buffered, not streamed
+    assert response.body != b""

@@ -1,0 +1,154 @@
+"""Tests (incl. property-based) for vectored-I/O planning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import plan_vector, scatter_parts
+from repro.core.vectored import Fragment
+from repro.errors import RequestError
+
+
+def test_empty_plan():
+    plan = plan_vector([])
+    assert plan.batches == []
+    assert plan.total_ranges == 0
+
+
+def test_single_fragment():
+    plan = plan_vector([(100, 50)])
+    assert plan.total_ranges == 1
+    assert plan.batches[0][0].offset == 100
+    assert plan.batches[0][0].length == 50
+
+
+def test_adjacent_fragments_coalesce():
+    plan = plan_vector([(0, 10), (10, 10), (20, 10)], gap=0)
+    assert plan.total_ranges == 1
+    rng = plan.batches[0][0]
+    assert (rng.offset, rng.length) == (0, 30)
+    assert len(rng.fragments) == 3
+
+
+def test_gap_threshold_controls_merging():
+    reads = [(0, 10), (100, 10)]
+    assert plan_vector(reads, gap=0).total_ranges == 2
+    assert plan_vector(reads, gap=89).total_ranges == 2
+    assert plan_vector(reads, gap=90).total_ranges == 1
+
+
+def test_overlapping_and_duplicate_fragments():
+    plan = plan_vector([(0, 20), (10, 20), (0, 20)], gap=0)
+    assert plan.total_ranges == 1
+    assert plan.batches[0][0].length == 30
+
+
+def test_unsorted_input_is_sorted():
+    plan = plan_vector([(100, 10), (0, 10)], gap=0)
+    offsets = [r.offset for r in plan.batches[0]]
+    assert offsets == [0, 100]
+
+
+def test_batching_respects_max_ranges():
+    reads = [(i * 1000, 10) for i in range(10)]
+    plan = plan_vector(reads, max_ranges=3, gap=0)
+    assert [len(b) for b in plan.batches] == [3, 3, 3, 1]
+
+
+def test_byte_accounting():
+    plan = plan_vector([(0, 10), (15, 10)], gap=5)
+    assert plan.requested_bytes == 20
+    assert plan.total_request_bytes == 25  # includes the 5-byte gap
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        plan_vector([(0, 10)], max_ranges=0)
+    with pytest.raises(ValueError):
+        plan_vector([(0, 10)], gap=-1)
+    with pytest.raises(ValueError):
+        plan_vector([(-1, 10)])
+    with pytest.raises(ValueError):
+        plan_vector([(0, 0)])
+
+
+def test_scatter_exact_parts():
+    plan = plan_vector([(0, 5), (20, 5)], gap=0)
+    parts = {0: b"AAAAA", 20: b"BBBBB"}
+    result = scatter_parts(plan.batches[0], parts)
+    assert result == {0: b"AAAAA", 1: b"BBBBB"}
+
+
+def test_scatter_from_coalesced_part():
+    plan = plan_vector([(0, 5), (8, 5)], gap=10)
+    assert plan.total_ranges == 1
+    parts = {0: b"0123456789ABC"}
+    result = scatter_parts(plan.batches[0], parts)
+    assert result == {0: b"01234", 1: b"89ABC"}
+
+
+def test_scatter_from_larger_enclosing_part():
+    plan = plan_vector([(10, 5)], gap=0)
+    parts = {0: b"0123456789ABCDEFGH"}  # server sent the whole object
+    result = scatter_parts(plan.batches[0], parts)
+    assert result == {0: b"ABCDE"}
+
+
+def test_scatter_missing_coverage_raises():
+    plan = plan_vector([(100, 5)], gap=0)
+    with pytest.raises(RequestError):
+        scatter_parts(plan.batches[0], {0: b"short"})
+
+
+reads_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=5000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    reads_strategy,
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_plan_covers_every_fragment(reads, max_ranges, gap):
+    plan = plan_vector(reads, max_ranges=max_ranges, gap=gap)
+    ranges = [rng for batch in plan.batches for rng in batch]
+    # 1. every fragment is covered by exactly one coalesced range
+    seen = set()
+    for rng in ranges:
+        for fragment in rng.fragments:
+            assert rng.covers(fragment)
+            assert fragment.index not in seen
+            seen.add(fragment.index)
+    assert seen == set(range(len(reads)))
+    # 2. ranges are disjoint and sorted
+    for before, after in zip(ranges, ranges[1:]):
+        assert before.end + gap < after.offset or before.end <= after.offset
+    # 3. batch size limit holds
+    assert all(len(batch) <= max_ranges for batch in plan.batches)
+    # 4. no range is wider than the span of its fragments
+    for rng in ranges:
+        low = min(f.offset for f in rng.fragments)
+        high = max(f.end for f in rng.fragments)
+        assert rng.offset == low
+        assert rng.end == high
+
+
+@given(reads_strategy, st.integers(min_value=0, max_value=2048))
+def test_scatter_recovers_fragment_bytes(reads, gap):
+    # Simulate a server: build content, answer each range exactly.
+    content = bytes(i % 251 for i in range(1_010_000))
+    plan = plan_vector(reads, max_ranges=64, gap=gap)
+    out = {}
+    for batch in plan.batches:
+        parts = {
+            rng.offset: content[rng.offset : rng.end] for rng in batch
+        }
+        out.update(scatter_parts(batch, parts))
+    for index, (offset, length) in enumerate(reads):
+        assert out[index] == content[offset : offset + length]

@@ -1,0 +1,206 @@
+"""Tests for the GridFTP-like comparator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concurrency import SimRuntime
+from repro.errors import HttpProtocolError, RequestError
+from repro.gridftp import (
+    BlockReader,
+    GridFtpClient,
+    GridFtpServer,
+    serve_gridftp,
+)
+from repro.gridftp import protocol as gp
+from repro.net import LinkSpec, Network, TcpOptions
+from repro.server import ObjectStore, SyntheticContent
+from repro.sim import Environment
+
+from tests.helpers import sim_world
+
+
+# -- protocol ------------------------------------------------------------------
+
+
+def test_block_roundtrip():
+    wire = gp.encode_block(1000, b"payload")
+    reader = BlockReader()
+    reader.feed(wire)
+    block = reader.next_block()
+    assert block.offset == 1000
+    assert block.payload == b"payload"
+    assert not block.eof
+
+
+def test_eof_block():
+    reader = BlockReader()
+    reader.feed(gp.encode_eof())
+    assert reader.next_block().eof
+
+
+def test_block_incremental():
+    wire = gp.encode_block(5, b"x" * 100)
+    reader = BlockReader()
+    for i in range(0, len(wire), 9):
+        reader.feed(wire[i : i + 9])
+    assert reader.next_block().payload == b"x" * 100
+
+
+def test_oversized_block_rejected():
+    with pytest.raises(HttpProtocolError):
+        gp.encode_block(0, b"x" * (gp.MAX_BLOCK + 1))
+
+
+def test_control_line_roundtrip():
+    verb, args = gp.parse_command(b"RETR /data/f.root 4\r\n")
+    assert verb == "RETR"
+    assert args == ["/data/f.root", "4"]
+    code, message = gp.parse_reply(gp.format_reply(213, "12345").strip())
+    assert (code, message) == (213, "12345")
+
+
+@given(
+    st.integers(min_value=0, max_value=10**12),
+    st.binary(max_size=4096),
+)
+def test_block_roundtrip_property(offset, payload):
+    reader = BlockReader()
+    reader.feed(gp.encode_block(offset, payload))
+    block = reader.next_block()
+    assert (block.offset, block.payload) == (offset, payload)
+
+
+# -- end to end -------------------------------------------------------------------
+
+
+def gridftp_world(latency=0.005, bandwidth=1e8, content=None):
+    client_rt, server_rt = sim_world(latency=latency, bandwidth=bandwidth)
+    store = ObjectStore()
+    store.put("/data/f.bin", content or bytes(range(256)) * 1000)
+    server = GridFtpServer(store, server_rt)
+    serve_gridftp(server_rt, server, port=2811)
+    return client_rt, store, server
+
+
+def test_size_and_quit():
+    client_rt, store, server = gridftp_world()
+
+    def op():
+        client = yield from GridFtpClient.connect(("server", 2811))
+        size = yield from client.size("/data/f.bin")
+        yield from client.quit()
+        return size
+
+    assert client_rt.run(op()) == 256_000
+
+
+def test_retrieve_single_stream_byte_exact():
+    content = bytes(range(256)) * 2048
+    client_rt, store, server = gridftp_world(content=content)
+
+    def op():
+        client = yield from GridFtpClient.connect(("server", 2811))
+        data = yield from client.retrieve("/data/f.bin", streams=1)
+        return data
+
+    assert client_rt.run(op()) == content
+
+
+def test_retrieve_striped_byte_exact():
+    content = SyntheticContent(3_000_000, seed=5).read_all()
+    client_rt, store, server = gridftp_world(content=content)
+
+    def op():
+        client = yield from GridFtpClient.connect(("server", 2811))
+        data = yield from client.retrieve("/data/f.bin", streams=4)
+        return data
+
+    assert client_rt.run(op()) == content
+    assert server.transfers == 1
+
+
+def test_missing_file_errors():
+    client_rt, store, server = gridftp_world()
+
+    def op():
+        client = yield from GridFtpClient.connect(("server", 2811))
+        try:
+            yield from client.size("/nope")
+        except RequestError as exc:
+            return str(exc)
+
+    assert "550" in client_rt.run(op())
+
+
+def test_retr_without_pasv_rejected_server_side():
+    client_rt, store, server = gridftp_world()
+    from repro.concurrency import Recv, Send, Connect
+
+    def op():
+        channel = yield Connect(("server", 2811))
+        data = yield Recv(channel)  # greeting
+        yield Send(channel, b"RETR /data/f.bin\r\n")
+        data = yield Recv(channel)
+        return data
+
+    assert b"425" in client_rt.run(op())
+
+
+def test_parallel_streams_beat_window_limited_single_stream():
+    """The GridFTP raison d'etre: on a long fat pipe with a capped TCP
+    window, N streams deliver ~N x the throughput."""
+    # Big enough that steady-state throughput dominates the slow-start
+    # ramp and the control-channel round trips.
+    content_size = 60_000_000
+    options = TcpOptions(max_window=1 << 20, idle_reset=False)
+
+    def run(streams):
+        env = Environment()
+        net = Network(env, seed=3)
+        net.add_host("client")
+        net.add_host("server")
+        net.set_route(
+            "client", "server",
+            LinkSpec(latency=0.08, bandwidth=62_500_000),
+        )
+        store = ObjectStore()
+        store.put("/big", SyntheticContent(content_size, seed=1))
+        server_rt = SimRuntime(net, "server")
+        serve_gridftp(
+            server_rt, GridFtpServer(store, server_rt), port=2811
+        )
+        client_rt = SimRuntime(net, "client")
+
+        def op():
+            client = yield from GridFtpClient.connect(
+                ("server", 2811), options
+            )
+            start = client_rt.now()
+            data = yield from client.retrieve(
+                "/big", streams=streams, tcp_options=options
+            )
+            elapsed = client_rt.now() - start
+            assert len(data) == content_size
+            return elapsed
+
+        return client_rt.run(op())
+
+    single = run(1)
+    quad = run(4)
+    # window 1 MB, RTT 160 ms -> ~6.25 MB/s per stream; 4 streams ~4x.
+    assert quad < single / 2.5
+
+
+def test_unknown_command_500():
+    client_rt, store, server = gridftp_world()
+    from repro.concurrency import Connect, Recv, Send
+
+    def op():
+        channel = yield Connect(("server", 2811))
+        yield Recv(channel)
+        yield Send(channel, b"FEAT\r\n")
+        data = yield Recv(channel)
+        return data
+
+    assert b"500" in client_rt.run(op())

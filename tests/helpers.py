@@ -1,0 +1,111 @@
+"""Shared test helpers: a minimal effect-based HTTP client and sim
+world builders (used to exercise the server before/beside the davix
+client)."""
+
+from __future__ import annotations
+
+from repro.concurrency import Close, Connect, Recv, Send, SimRuntime
+from repro.errors import ConnectionClosed
+from repro.http import (
+    CONNECTION_CLOSED,
+    NEED_DATA,
+    Data,
+    EndOfMessage,
+    HttpParser,
+    Request,
+    Response,
+    serialize_request,
+)
+from repro.net import LinkSpec, Network
+from repro.sim import Environment
+
+
+def read_response(channel, parser):
+    """Effect sub-op: read one complete response."""
+    head = None
+    body = bytearray()
+    while True:
+        event = parser.next_event()
+        if event == NEED_DATA:
+            data = yield Recv(channel)
+            parser.receive_data(data)
+            continue
+        if event == CONNECTION_CLOSED:
+            raise ConnectionClosed("server closed mid-exchange")
+        if isinstance(event, Response):
+            head = event
+        elif isinstance(event, Data):
+            body.extend(event.data)
+        elif isinstance(event, EndOfMessage):
+            head.body = bytes(body)
+            return head
+
+
+def http_exchange(endpoint, requests, options=None):
+    """Effect op: send ``requests`` on one connection, sequentially."""
+    channel = yield Connect(endpoint, options)
+    parser = HttpParser("client")
+    responses = []
+    for request in requests:
+        request.headers.setdefault("Host", endpoint[0])
+        parser.expect_response_to(request.method)
+        yield Send(channel, serialize_request(request))
+        response = yield from read_response(channel, parser)
+        responses.append(response)
+    yield Close(channel)
+    return responses
+
+
+def one_request(endpoint, request, options=None):
+    """Effect op: single request/response on a fresh connection."""
+    responses = yield from http_exchange(endpoint, [request], options)
+    return responses[0]
+
+
+def sim_world(latency=0.001, bandwidth=1e8, seed=0, jitter=0.0):
+    """(client_runtime, server_runtime) on a 2-host simulated network."""
+    env = Environment()
+    net = Network(env, seed=seed)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route(
+        "client",
+        "server",
+        LinkSpec(latency=latency, bandwidth=bandwidth, jitter=jitter),
+    )
+    return SimRuntime(net, "client"), SimRuntime(net, "server")
+
+
+def get(path, headers=None):
+    return Request("GET", path, headers or {})
+
+
+def put(path, body, headers=None):
+    return Request("PUT", path, headers or {}, body=body)
+
+
+def davix_world(
+    latency=0.001,
+    bandwidth=1e8,
+    seed=0,
+    config=None,
+    faults=None,
+    replicas=None,
+    params=None,
+):
+    """A DavixClient wired to a simulated storage server.
+
+    Returns (client, app, store, server_runtime).
+    """
+    from repro.core import Context, DavixClient
+    from repro.server import HttpServer, ObjectStore, StorageApp
+
+    client_rt, server_rt = sim_world(
+        latency=latency, bandwidth=bandwidth, seed=seed
+    )
+    store = ObjectStore(clock=server_rt.now)
+    app = StorageApp(store, config=config, faults=faults, replicas=replicas)
+    HttpServer(server_rt, app, port=80).start()
+    context = Context(params=params)
+    client = DavixClient(client_rt, context=context)
+    return client, app, store, server_rt

@@ -1,0 +1,386 @@
+"""Tests for the sans-io HTTP codec (incremental parsing, framing)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HttpParseError
+from repro.http import (
+    CONNECTION_CLOSED,
+    NEED_DATA,
+    Data,
+    EndOfMessage,
+    Headers,
+    HttpParser,
+    Request,
+    Response,
+    serialize_request,
+    serialize_response,
+)
+from repro.http.codec import (
+    encode_chunk,
+    encode_last_chunk,
+    serialize_response_head,
+)
+
+
+def drain(parser):
+    """Collect events until NEED_DATA / CONNECTION_CLOSED."""
+    events = []
+    while True:
+        event = parser.next_event()
+        if event in (NEED_DATA, CONNECTION_CLOSED):
+            return events, event
+        events.append(event)
+
+
+def collect_message(events):
+    """(head, body_bytes, saw_end) from an event list."""
+    head = events[0]
+    body = b"".join(e.data for e in events[1:] if isinstance(e, Data))
+    saw_end = any(isinstance(e, EndOfMessage) for e in events)
+    return head, body, saw_end
+
+
+# -- request parsing ----------------------------------------------------------
+
+
+def test_parse_get_request():
+    parser = HttpParser("server")
+    parser.receive_data(
+        b"GET /data/file?x=1 HTTP/1.1\r\nHost: h\r\nAccept: */*\r\n\r\n"
+    )
+    events, tail = drain(parser)
+    head, body, done = collect_message(events)
+    assert head.method == "GET"
+    assert head.target == "/data/file?x=1"
+    assert head.path == "/data/file"
+    assert head.query == "x=1"
+    assert head.headers.get("host") == "h"
+    assert body == b""
+    assert done
+    assert tail == NEED_DATA
+
+
+def test_parse_put_with_body():
+    parser = HttpParser("server")
+    parser.receive_data(
+        b"PUT /up HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello"
+    )
+    events, _ = drain(parser)
+    head, body, done = collect_message(events)
+    assert head.method == "PUT"
+    assert body == b"hello"
+    assert done
+
+
+def test_parse_request_byte_by_byte():
+    wire = b"PUT /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+    parser = HttpParser("server")
+    events = []
+    for i in range(len(wire)):
+        parser.receive_data(wire[i : i + 1])
+        got, _ = drain(parser)
+        events.extend(got)
+    head, body, done = collect_message(events)
+    assert head.method == "PUT"
+    assert body == b"abc"
+    assert done
+
+
+def test_parse_pipelined_requests():
+    parser = HttpParser("server")
+    parser.receive_data(
+        b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+    )
+    events, _ = drain(parser)
+    requests = [e for e in events if isinstance(e, Request)]
+    ends = [e for e in events if isinstance(e, EndOfMessage)]
+    assert [r.target for r in requests] == ["/a", "/b"]
+    assert len(ends) == 2
+
+
+def test_clean_eof_between_messages():
+    parser = HttpParser("server")
+    parser.receive_data(b"")
+    assert parser.next_event() == CONNECTION_CLOSED
+    assert parser.next_event() == CONNECTION_CLOSED  # stable
+
+
+def test_eof_inside_head_is_error():
+    parser = HttpParser("server")
+    parser.receive_data(b"GET / HT")
+    parser.receive_data(b"")
+    with pytest.raises(HttpParseError):
+        parser.next_event()
+
+
+def test_eof_inside_body_is_error():
+    parser = HttpParser("server")
+    parser.receive_data(
+        b"PUT /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+    )
+    events, _ = drain(parser)
+    parser.receive_data(b"")
+    with pytest.raises(HttpParseError):
+        drain(parser)
+
+
+@pytest.mark.parametrize(
+    "wire",
+    [
+        b"GET /\r\n\r\n",  # missing version
+        b"GET / HTTP/2.0\r\n\r\n",  # unsupported version
+        b"GET / HTTP/1.1\r\nBad Header\r\n\r\n",  # no colon
+        b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",  # obs-fold
+    ],
+)
+def test_malformed_requests_rejected(wire):
+    parser = HttpParser("server")
+    parser.receive_data(wire)
+    with pytest.raises(HttpParseError):
+        drain(parser)
+
+
+def test_oversized_head_rejected():
+    parser = HttpParser("server")
+    parser.receive_data(b"GET / HTTP/1.1\r\nX: " + b"a" * 70000)
+    with pytest.raises(HttpParseError):
+        parser.next_event()
+
+
+# -- response parsing --------------------------------------------------------
+
+
+def test_parse_response_with_length():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody"
+    )
+    events, _ = drain(parser)
+    head, body, done = collect_message(events)
+    assert head.status == 200
+    assert head.reason == "OK"
+    assert body == b"body"
+    assert done
+
+
+def test_head_response_has_no_body():
+    parser = HttpParser("client")
+    parser.expect_response_to("HEAD")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nContent-Length: 999\r\n\r\n"
+    )
+    events, tail = drain(parser)
+    head, body, done = collect_message(events)
+    assert head.status == 200
+    assert body == b""
+    assert done
+    assert tail == NEED_DATA
+
+
+def test_204_and_304_have_no_body():
+    for status in (204, 304):
+        parser = HttpParser("client")
+        parser.expect_response_to("GET")
+        parser.receive_data(
+            f"HTTP/1.1 {status} X\r\n\r\n".encode()
+        )
+        events, _ = drain(parser)
+        _, body, done = collect_message(events)
+        assert body == b""
+        assert done
+
+
+def test_response_read_until_eof():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(b"HTTP/1.0 200 OK\r\n\r\npart1")
+    events, tail = drain(parser)
+    assert tail == NEED_DATA
+    parser.receive_data(b"part2")
+    parser.receive_data(b"")
+    more, tail = drain(parser)
+    events.extend(more)
+    _, body, done = collect_message(events)
+    assert body == b"part1part2"
+    assert done
+    assert tail == CONNECTION_CLOSED
+
+
+def test_pipelined_responses_use_method_queue():
+    parser = HttpParser("client")
+    parser.expect_response_to("HEAD")
+    parser.expect_response_to("GET")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\n"
+        b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"
+    )
+    events, _ = drain(parser)
+    heads = [e for e in events if isinstance(e, Response)]
+    bodies = b"".join(e.data for e in events if isinstance(e, Data))
+    assert len(heads) == 2
+    assert bodies == b"abc"  # only the GET's body
+
+
+def test_chunked_response_body():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+        b"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n"
+    )
+    events, _ = drain(parser)
+    _, body, done = collect_message(events)
+    assert body == b"Wikipedia"
+    assert done
+
+
+def test_chunked_with_extensions_and_trailers():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+        b"3;ext=1\r\nabc\r\n0\r\nX-Trailer: v\r\n\r\n"
+    )
+    events, _ = drain(parser)
+    _, body, done = collect_message(events)
+    assert body == b"abc"
+    assert done
+
+
+def test_chunked_incremental_delivery():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    wire = (
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+        b"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n"
+    )
+    events = []
+    for i in range(0, len(wire), 7):
+        parser.receive_data(wire[i : i + 7])
+        got, _ = drain(parser)
+        events.extend(got)
+    _, body, done = collect_message(events)
+    assert body == b"Wikipedia"
+    assert done
+
+
+def test_bad_chunk_size_rejected():
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"
+    )
+    with pytest.raises(HttpParseError):
+        drain(parser)
+
+
+def test_bad_role_rejected():
+    with pytest.raises(ValueError):
+        HttpParser("proxy")
+
+
+# -- serialisation -----------------------------------------------------------
+
+
+def test_serialize_request_adds_content_length():
+    wire = serialize_request(
+        Request("PUT", "/x", Headers([("Host", "h")]), body=b"abcd")
+    )
+    assert wire.startswith(b"PUT /x HTTP/1.1\r\n")
+    assert b"Content-Length: 4\r\n" in wire
+    assert wire.endswith(b"\r\n\r\nabcd")
+
+
+def test_serialize_get_has_no_content_length():
+    wire = serialize_request(Request("GET", "/x"))
+    assert b"Content-Length" not in wire
+
+
+def test_serialize_post_without_body_gets_zero_length():
+    wire = serialize_request(Request("POST", "/x"))
+    assert b"Content-Length: 0\r\n" in wire
+
+
+def test_serialize_response_roundtrip():
+    wire = serialize_response(
+        Response(200, Headers([("Content-Type", "text/plain")]), b"hi")
+    )
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    parser.receive_data(wire)
+    events, _ = drain(parser)
+    head, body, done = collect_message(events)
+    assert head.status == 200
+    assert head.content_type == "text/plain"
+    assert body == b"hi"
+    assert done
+
+
+def test_serialize_response_head_with_streamed_length():
+    head = serialize_response_head(Response(200), content_length=10)
+    assert b"Content-Length: 10\r\n" in head
+
+
+def test_serialize_204_has_no_content_length():
+    wire = serialize_response(Response(204))
+    assert b"Content-Length" not in wire
+
+
+def test_chunk_encoding_helpers():
+    assert encode_chunk(b"abc") == b"3\r\nabc\r\n"
+    assert encode_last_chunk() == b"0\r\n\r\n"
+    with pytest.raises(ValueError):
+        encode_chunk(b"")
+
+
+# -- property-based ----------------------------------------------------------
+
+
+@given(st.binary(min_size=0, max_size=5000), st.integers(1, 97))
+def test_request_roundtrip_any_split(body, step):
+    request = Request(
+        "PUT", "/path", Headers([("Host", "h"), ("X-N", "1")]), body=body
+    )
+    wire = serialize_request(request)
+    parser = HttpParser("server")
+    events = []
+    for i in range(0, len(wire), step):
+        parser.receive_data(wire[i : i + step])
+        while True:
+            event = parser.next_event()
+            if event == NEED_DATA:
+                break
+            events.append(event)
+    head, parsed_body, done = collect_message(events)
+    assert head.method == "PUT"
+    assert parsed_body == body
+    assert done
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=500), min_size=0, max_size=8),
+    st.integers(1, 53),
+)
+def test_chunked_roundtrip_any_split(chunks, step):
+    wire = bytearray(
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+    )
+    for chunk in chunks:
+        wire += encode_chunk(chunk)
+    wire += encode_last_chunk()
+    parser = HttpParser("client")
+    parser.expect_response_to("GET")
+    events = []
+    for i in range(0, len(wire), step):
+        parser.receive_data(bytes(wire[i : i + step]))
+        while True:
+            event = parser.next_event()
+            if event == NEED_DATA:
+                break
+            events.append(event)
+    _, body, done = collect_message(events)
+    assert body == b"".join(chunks)
+    assert done

@@ -1,0 +1,87 @@
+"""Tests for the case-insensitive header multimap."""
+
+from repro.http import Headers
+
+
+def test_add_and_case_insensitive_get():
+    headers = Headers()
+    headers.add("Content-Type", "text/plain")
+    assert headers.get("content-type") == "text/plain"
+    assert headers.get("CONTENT-TYPE") == "text/plain"
+    assert "content-TYPE" in headers
+
+
+def test_get_default():
+    assert Headers().get("X-Missing", "fallback") == "fallback"
+    assert Headers().get("X-Missing") is None
+
+
+def test_duplicates_preserved_in_order():
+    headers = Headers()
+    headers.add("Via", "a")
+    headers.add("via", "b")
+    assert headers.get("Via") == "a"
+    assert headers.get_all("VIA") == ["a", "b"]
+    assert len(headers) == 2
+
+
+def test_set_replaces_all_values():
+    headers = Headers([("X", "1"), ("x", "2")])
+    headers.set("X", "3")
+    assert headers.get_all("x") == ["3"]
+
+
+def test_setdefault_only_when_absent():
+    headers = Headers()
+    headers.setdefault("Host", "a")
+    headers.setdefault("host", "b")
+    assert headers.get("Host") == "a"
+
+
+def test_remove_is_silent_when_absent():
+    headers = Headers([("A", "1")])
+    headers.remove("nothing")
+    headers.remove("a")
+    assert len(headers) == 0
+
+
+def test_init_from_dict_and_pairs_and_headers():
+    from_dict = Headers({"A": "1"})
+    from_pairs = Headers([("A", "1")])
+    from_headers = Headers(from_dict)
+    assert from_dict == from_pairs == from_headers
+
+
+def test_values_coerced_to_str():
+    headers = Headers()
+    headers.add("Content-Length", 42)
+    assert headers.get("content-length") == "42"
+    assert headers.get_int("Content-Length") == 42
+
+
+def test_get_int_invalid_returns_none():
+    headers = Headers([("Content-Length", "abc")])
+    assert headers.get_int("Content-Length") is None
+
+
+def test_contains_token_splits_comma_lists():
+    headers = Headers([("Connection", "keep-alive, Upgrade")])
+    assert headers.contains_token("connection", "KEEP-ALIVE")
+    assert headers.contains_token("connection", "upgrade")
+    assert not headers.contains_token("connection", "close")
+
+
+def test_copy_is_independent():
+    original = Headers([("A", "1")])
+    clone = original.copy()
+    clone.add("B", "2")
+    assert "B" not in original
+
+
+def test_equality_ignores_name_case_not_order():
+    assert Headers([("a", "1"), ("b", "2")]) == Headers(
+        [("A", "1"), ("B", "2")]
+    )
+    assert Headers([("a", "1"), ("b", "2")]) != Headers(
+        [("b", "2"), ("a", "1")]
+    )

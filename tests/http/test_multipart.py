@@ -1,0 +1,129 @@
+"""Tests for multipart/byteranges encode/decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HttpParseError
+from repro.http import (
+    RangePart,
+    decode_byteranges,
+    encode_byteranges,
+    make_boundary,
+)
+from repro.http.multipart import content_type_boundary
+
+
+def test_roundtrip_simple():
+    parts = [
+        RangePart(offset=0, data=b"hello", total=100),
+        RangePart(offset=50, data=b"world!", total=100),
+    ]
+    boundary = make_boundary()
+    body = encode_byteranges(parts, boundary)
+    assert decode_byteranges(body, boundary) == parts
+
+
+def test_encoded_body_contains_content_range_lines():
+    body = encode_byteranges(
+        [RangePart(offset=5, data=b"abc", total=10)], "B"
+    )
+    assert b"Content-Range: bytes 5-7/10" in body
+    assert body.endswith(b"--B--\r\n")
+
+
+def test_empty_parts_rejected():
+    with pytest.raises(ValueError):
+        encode_byteranges([], "B")
+
+
+def test_binary_data_with_crlf_and_boundary_like_content():
+    # Data containing CRLF and even the delimiter text must survive,
+    # because parts are length-delimited by Content-Range.
+    tricky = b"--B\r\nContent-Range: bytes 0-1/2\r\n\r\nxx\r\n"
+    parts = [RangePart(offset=3, data=tricky, total=1000)]
+    body = encode_byteranges(parts, "B")
+    assert decode_byteranges(body, "B") == parts
+
+
+def test_preamble_is_ignored():
+    parts = [RangePart(offset=0, data=b"data", total=4)]
+    body = b"ignore this preamble\r\n" + encode_byteranges(parts, "B")
+    assert decode_byteranges(body, "B") == parts
+
+
+def test_missing_terminator_rejected():
+    body = encode_byteranges(
+        [RangePart(offset=0, data=b"data", total=4)], "B"
+    )
+    with pytest.raises(HttpParseError):
+        decode_byteranges(body[:-6], "B")
+
+
+def test_wrong_boundary_rejected():
+    body = encode_byteranges(
+        [RangePart(offset=0, data=b"data", total=4)], "B"
+    )
+    with pytest.raises(HttpParseError):
+        decode_byteranges(body, "WRONG")
+
+
+def test_truncated_part_rejected():
+    body = (
+        b"--B\r\nContent-Range: bytes 0-9/10\r\n\r\nshort\r\n--B--\r\n"
+    )
+    with pytest.raises(HttpParseError):
+        decode_byteranges(body, "B")
+
+
+def test_part_without_content_range_rejected():
+    body = b"--B\r\nContent-Type: text/plain\r\n\r\nxx\r\n--B--\r\n"
+    with pytest.raises(HttpParseError):
+        decode_byteranges(body, "B")
+
+
+def test_content_type_boundary_extraction():
+    assert (
+        content_type_boundary("multipart/byteranges; boundary=abc123")
+        == "abc123"
+    )
+    assert (
+        content_type_boundary('multipart/byteranges; boundary="q q"')
+        == "q q"
+    )
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        "application/octet-stream",
+        "multipart/byteranges",
+        "multipart/byteranges; charset=utf-8",
+        "multipart/byteranges; boundary=",
+    ],
+)
+def test_content_type_boundary_failures(value):
+    with pytest.raises(HttpParseError):
+        content_type_boundary(value)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.binary(min_size=1, max_size=2048),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_roundtrip_property(raw_parts):
+    total = 10**7
+    parts = [
+        RangePart(offset=offset, data=data, total=total)
+        for offset, data in raw_parts
+    ]
+    boundary = make_boundary()
+    assert decode_byteranges(encode_byteranges(parts, boundary), boundary) == (
+        parts
+    )

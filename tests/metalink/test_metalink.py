@@ -1,0 +1,148 @@
+"""Tests for the Metalink model, writer and parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MetalinkError
+from repro.metalink import (
+    Metalink,
+    MetalinkFile,
+    MetalinkUrl,
+    parse_metalink,
+    write_metalink,
+)
+
+
+def sample_doc():
+    return Metalink(
+        files=[
+            MetalinkFile(
+                name="data.root",
+                size=700_000_000,
+                hashes={"adler32": "0a1b2c3d", "md5": "d" * 32},
+                urls=[
+                    MetalinkUrl(
+                        "http://cern/data.root", priority=1, location="ch"
+                    ),
+                    MetalinkUrl("http://bnl/data.root", priority=2),
+                ],
+            )
+        ]
+    )
+
+
+def test_roundtrip():
+    doc = parse_metalink(write_metalink(sample_doc()))
+    entry = doc.single()
+    assert entry.name == "data.root"
+    assert entry.size == 700_000_000
+    assert entry.checksum("adler32") == "0a1b2c3d"
+    assert entry.checksum("MD5") == "d" * 32
+    assert [u.url for u in entry.urls] == [
+        "http://cern/data.root",
+        "http://bnl/data.root",
+    ]
+    assert entry.urls[0].location == "ch"
+
+
+def test_ordered_urls_sorts_by_priority_stably():
+    entry = MetalinkFile(
+        name="f",
+        urls=[
+            MetalinkUrl("http://c", priority=5),
+            MetalinkUrl("http://a", priority=1),
+            MetalinkUrl("http://b", priority=5),
+        ],
+    )
+    assert [u.url for u in entry.ordered_urls()] == [
+        "http://a",
+        "http://c",
+        "http://b",
+    ]
+
+
+def test_model_validation():
+    with pytest.raises(MetalinkError):
+        MetalinkUrl("")
+    with pytest.raises(MetalinkError):
+        MetalinkUrl("http://x", priority=0)
+    with pytest.raises(MetalinkError):
+        MetalinkFile(name="")
+    with pytest.raises(MetalinkError):
+        MetalinkFile(name="x", size=-1)
+
+
+def test_single_requires_exactly_one_file():
+    with pytest.raises(MetalinkError):
+        Metalink(files=[]).single()
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(MetalinkError):
+        parse_metalink(b"not xml at all <")
+    with pytest.raises(MetalinkError):
+        parse_metalink(b"<wrongroot/>")
+
+
+def test_parse_rejects_structural_violations():
+    ns = "urn:ietf:params:xml:ns:metalink"
+    with pytest.raises(MetalinkError):
+        parse_metalink(
+            f'<metalink xmlns="{ns}"><file><url>http://x</url></file>'
+            f"</metalink>".encode()
+        )  # file without name
+    with pytest.raises(MetalinkError):
+        parse_metalink(
+            f'<metalink xmlns="{ns}"><file name="f"><url></url></file>'
+            f"</metalink>".encode()
+        )  # empty url
+    with pytest.raises(MetalinkError):
+        parse_metalink(
+            f'<metalink xmlns="{ns}"><file name="f"><size>abc</size>'
+            f"</file></metalink>".encode()
+        )  # non-numeric size
+
+
+def test_generator_field_roundtrip():
+    doc = sample_doc()
+    doc.generator = "test-gen/9"
+    assert parse_metalink(write_metalink(doc)).generator == "test-gen/9"
+
+
+names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), whitelist_characters="._-"
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(
+    names,
+    st.integers(min_value=0, max_value=10**15),
+    st.lists(
+        st.tuples(st.integers(1, 99), names), min_size=1, max_size=8
+    ),
+)
+def test_roundtrip_property(name, size, url_specs):
+    doc = Metalink(
+        files=[
+            MetalinkFile(
+                name=name,
+                size=size,
+                urls=[
+                    MetalinkUrl(f"http://host/{path}", priority=priority)
+                    for priority, path in url_specs
+                ],
+            )
+        ]
+    )
+    parsed = parse_metalink(write_metalink(doc)).single()
+    assert parsed.name == name
+    assert parsed.size == size
+    assert [(u.priority, u.url) for u in parsed.urls] == [
+        (priority, f"http://host/{path}")
+        for priority, path in url_specs
+    ]

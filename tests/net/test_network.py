@@ -1,0 +1,186 @@
+"""Tests for topology management and connection failure semantics."""
+
+import pytest
+
+from repro.errors import ConnectError, ConnectionClosed, NetworkError
+from repro.net import LAN, LinkSpec, Network, TcpOptions, build_network
+from repro.net.profiles import GEANT, PROFILES, WAN
+from repro.sim import Environment
+
+
+def star(seed=0):
+    env = Environment()
+    net = Network(env, seed=seed)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route("client", "server", LinkSpec(latency=0.01, bandwidth=1e9))
+    return env, net
+
+
+def test_duplicate_host_rejected():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    with pytest.raises(ValueError):
+        net.add_host("a")
+
+
+def test_unknown_host_and_route_errors():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    with pytest.raises(NetworkError):
+        net.host("nope")
+    with pytest.raises(NetworkError):
+        net.route("a", "a")
+
+
+def test_connect_refused_without_listener():
+    env, net = star()
+
+    def client():
+        try:
+            yield net.connect("client", ("server", 81))
+        except ConnectError as exc:
+            return ("refused" in str(exc), env.now)
+
+    refused, when = env.run(env.process(client()))
+    assert refused
+    assert when == pytest.approx(0.02)  # one RTT
+
+
+def test_connect_to_down_host_times_out():
+    env, net = star()
+    net.listen("server", 80)
+    net.host("server").fail()
+
+    def client():
+        try:
+            yield net.connect(
+                "client", ("server", 80), TcpOptions(connect_timeout=1.5)
+            )
+        except ConnectError as exc:
+            return ("timed out" in str(exc), env.now)
+
+    timed_out, when = env.run(env.process(client()))
+    assert timed_out
+    assert when == pytest.approx(1.5)
+
+
+def test_host_fail_aborts_established_connections():
+    env, net = star()
+    listener = net.listen("server", 80)
+
+    def server():
+        side = yield listener.accept()
+        yield env.timeout(10)
+        return side
+
+    def client():
+        side = yield net.connect("client", ("server", 80))
+        try:
+            yield side.recv()
+        except ConnectionClosed:
+            return env.now
+
+    def killer():
+        yield env.timeout(1.0)
+        net.host("server").fail()
+
+    env.process(server())
+    task = env.process(client())
+    env.process(killer())
+    assert env.run(task) == pytest.approx(1.0)
+
+
+def test_host_recover_allows_new_connections():
+    env, net = star()
+    net.listen("server", 80)
+    server = net.host("server")
+    server.fail()
+    server.recover()
+
+    def client():
+        side = yield net.connect("client", ("server", 80))
+        return side is not None
+
+    assert env.run(env.process(client())) is True
+
+
+def test_listener_close_refuses_and_fails_accept():
+    env, net = star()
+    listener = net.listen("server", 80)
+
+    def acceptor():
+        try:
+            yield listener.accept()
+        except NetworkError:
+            return "accept-failed"
+
+    def closer():
+        yield env.timeout(0.1)
+        listener.close()
+
+    task = env.process(acceptor())
+    env.process(closer())
+    assert env.run(task) == "accept-failed"
+
+    def client():
+        try:
+            yield net.connect("client", ("server", 80))
+        except ConnectError:
+            return "refused"
+
+    assert env.run(env.process(client())) == "refused"
+
+
+def test_double_listen_rejected_until_closed():
+    env, net = star()
+    listener = net.listen("server", 80)
+    with pytest.raises(NetworkError):
+        net.listen("server", 80)
+    listener.close()
+    net.listen("server", 80)  # re-listen allowed after close
+
+
+def test_counters_track_connections():
+    env, net = star()
+    listener = net.listen("server", 80)
+
+    def server():
+        while True:
+            yield listener.accept()
+
+    def client():
+        for _ in range(3):
+            side = yield net.connect("client", ("server", 80))
+            side.close()
+
+    env.process(server())
+    env.process(client())
+    env.run(until=5)
+    assert net.host("server").counters["connections_accepted"] == 3
+    assert net.host("client").counters["connections_initiated"] == 3
+
+
+def test_default_route_fallback():
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    net.add_host("b")
+    net.default_route = LinkSpec(latency=0.001, bandwidth=1e9)
+    assert net.route("a", "b").latency == 0.001
+
+
+def test_build_network_profiles():
+    env = Environment()
+    net = build_network(GEANT, env, clients=2, servers=2)
+    assert set(net.hosts) == {"client0", "client1", "server0", "server1"}
+    assert net.route("client1", "server0") is GEANT.spec
+
+
+def test_profile_latencies_match_paper_bounds():
+    assert LAN.rtt < 0.005
+    assert GEANT.rtt < 0.050
+    assert WAN.rtt < 0.300
+    assert set(PROFILES) == {"lan", "geant", "wan"}

@@ -1,0 +1,163 @@
+"""Tests for tree metadata and the container format."""
+
+import pytest
+
+from repro.errors import RootIOError
+from repro.rootio import (
+    BasketInfo,
+    BranchMeta,
+    LocalFetcher,
+    TreeFileReader,
+    TreeMeta,
+    write_tree_file,
+)
+from repro.concurrency import ThreadRuntime
+
+
+def run(op):
+    """Drive an effect sub-op that never does I/O (LocalFetcher)."""
+    return ThreadRuntime().run(op)
+
+
+def small_tree(n_entries=250, basket_entries=100):
+    arrays = {
+        "px": bytes(
+            (i * 3) % 256 for i in range(n_entries * 8)
+        ),
+        "py": bytes((i * 7) % 256 for i in range(n_entries * 4)),
+    }
+    blob = write_tree_file(
+        "events", arrays, n_entries=n_entries, basket_entries=basket_entries
+    )
+    return blob, arrays
+
+
+def test_write_and_open():
+    blob, arrays = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob))
+    meta = run(reader.open())
+    assert meta.name == "events"
+    assert meta.n_entries == 250
+    assert meta.branch_names == ["px", "py"]
+    assert meta.branch("px").event_size == 8
+    assert meta.branch("py").event_size == 4
+    assert len(meta.branch("px").baskets) == 3  # 100+100+50
+
+
+def test_read_entries_byte_exact():
+    blob, arrays = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob))
+    run(reader.open())
+    out = run(reader.read_entries(130, 180))
+    assert out["px"] == arrays["px"][130 * 8 : 180 * 8]
+    assert out["py"] == arrays["py"][130 * 4 : 180 * 4]
+
+
+def test_read_entries_single_branch():
+    blob, arrays = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob))
+    run(reader.open())
+    out = run(reader.read_entries(0, 250, branch_names=["py"]))
+    assert list(out) == ["py"]
+    assert out["py"] == arrays["py"]
+
+
+def test_read_basket_roundtrip():
+    blob, arrays = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob))
+    meta = run(reader.open())
+    basket = meta.branch("px").baskets[1]
+    raw = run(reader.read_basket(basket))
+    assert raw == arrays["px"][100 * 8 : 200 * 8]
+
+
+def test_bad_magic_rejected():
+    blob, _ = small_tree()
+    reader = TreeFileReader(LocalFetcher(b"JUNK" + blob[4:]))
+    with pytest.raises(RootIOError):
+        run(reader.open())
+
+
+def test_truncated_index_rejected():
+    blob, _ = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob[:-10]))
+    with pytest.raises(RootIOError):
+        run(reader.open())
+
+
+def test_read_before_open_rejected():
+    blob, _ = small_tree()
+    reader = TreeFileReader(LocalFetcher(blob))
+    with pytest.raises(RootIOError):
+        run(reader.read_entries(0, 10))
+
+
+def test_misaligned_branch_rejected():
+    with pytest.raises(RootIOError):
+        write_tree_file("t", {"x": b"12345"}, n_entries=2)
+
+
+# -- TreeMeta behaviour --------------------------------------------------------
+
+
+def make_meta():
+    branch = BranchMeta(name="x", event_size=10)
+    offset = 24
+    for first in range(0, 1000, 100):
+        branch.baskets.append(
+            BasketInfo(
+                offset=offset,
+                nbytes=500,
+                first_entry=first,
+                n_entries=100,
+                uncompressed=1000,
+            )
+        )
+        offset += 500
+    return TreeMeta(name="t", n_entries=1000, branches=[branch])
+
+
+def test_basket_for_entry_binary_search():
+    meta = make_meta()
+    branch = meta.branch("x")
+    assert branch.basket_for_entry(0).first_entry == 0
+    assert branch.basket_for_entry(99).first_entry == 0
+    assert branch.basket_for_entry(100).first_entry == 100
+    assert branch.basket_for_entry(999).first_entry == 900
+    with pytest.raises(RootIOError):
+        branch.basket_for_entry(1000)
+
+
+def test_baskets_for_entries_window():
+    meta = make_meta()
+    branch = meta.branch("x")
+    assert [
+        b.first_entry for b in branch.baskets_for_entries(150, 350)
+    ] == [100, 200, 300]
+    assert branch.baskets_for_entries(5, 5) == []
+
+
+def test_segments_for_entries_dedup_sorted():
+    meta = make_meta()
+    segments = meta.segments_for_entries(0, 250)
+    assert segments == [(24, 500), (524, 500), (1024, 500)]
+
+
+def test_clusters_iteration():
+    meta = make_meta()
+    windows = list(meta.clusters(300))
+    assert windows == [(0, 300), (300, 600), (600, 900), (900, 1000)]
+    with pytest.raises(ValueError):
+        list(meta.clusters(0))
+
+
+def test_validate_catches_gaps():
+    meta = make_meta()
+    bad = meta.branch("x").baskets.pop(3)
+    with pytest.raises(RootIOError):
+        meta.validate()
+
+
+def test_unknown_branch_rejected():
+    with pytest.raises(RootIOError):
+        make_meta().branch("nope")

@@ -1,0 +1,174 @@
+"""Tests for the TTreeCache cluster prefetcher."""
+
+import pytest
+
+from repro.concurrency import ThreadRuntime
+from repro.errors import RootIOError
+from repro.rootio import (
+    LocalFetcher,
+    TTreeCache,
+    TreeFileReader,
+    write_tree_file,
+)
+
+
+def run(op):
+    return ThreadRuntime().run(op)
+
+
+def build(n_entries=500, basket_entries=50):
+    arrays = {
+        "a": bytes((i * 3) % 256 for i in range(n_entries * 4)),
+        "b": bytes((i * 5) % 256 for i in range(n_entries * 2)),
+    }
+    blob = write_tree_file(
+        "t", arrays, n_entries=n_entries, basket_entries=basket_entries
+    )
+    fetcher = LocalFetcher(blob)
+    reader = TreeFileReader(fetcher)
+    run(reader.open())
+    return reader, fetcher, arrays
+
+
+def read_all(cache, n_entries, arrays):
+    def op():
+        for entry in range(n_entries):
+            record = yield from cache.read_entry(entry)
+            assert record["a"] == arrays["a"][entry * 4 : entry * 4 + 4]
+            assert record["b"] == arrays["b"][entry * 2 : entry * 2 + 2]
+        return True
+
+    return run(op())
+
+
+def test_sequential_read_correct_and_vectored():
+    reader, fetcher, arrays = build()
+    fetcher.reads = 0
+    cache = TTreeCache(reader, entries_per_cluster=100)
+    assert read_all(cache, 500, arrays)
+    # 5 clusters -> 5 vectored reads, nothing else.
+    assert cache.stats["refills"] == 5
+    assert cache.stats["vector_reads"] == 5
+    assert cache.stats["single_reads"] == 0
+    assert fetcher.reads == 5
+
+
+def test_learning_phase_uses_single_reads():
+    reader, fetcher, arrays = build()
+    cache = TTreeCache(
+        reader, entries_per_cluster=100, learn_entries=50
+    )
+    assert read_all(cache, 500, arrays)
+    # First cluster (learning, 50 entries): one read per basket
+    # (2 branches x 1 basket each); then vectored refills.
+    assert cache.stats["single_reads"] == 2
+    assert cache.stats["vector_reads"] >= 4
+
+
+def test_random_access_refills():
+    reader, fetcher, arrays = build()
+    cache = TTreeCache(reader, entries_per_cluster=100)
+
+    def op():
+        first = yield from cache.read_entry(400)
+        second = yield from cache.read_entry(0)
+        third = yield from cache.read_entry(401)  # within 2nd window? no
+        return first, second, third
+
+    run(op())
+    # 400 -> refill, 0 -> refill, 401 -> refill (window restarted at 0)
+    assert cache.stats["refills"] == 3
+
+
+def test_subset_of_branches():
+    reader, fetcher, arrays = build()
+    cache = TTreeCache(
+        reader, branch_names=["b"], entries_per_cluster=250
+    )
+
+    def op():
+        record = yield from cache.read_entry(10)
+        return record
+
+    record = run(op())
+    assert list(record) == ["b"]
+    # Only branch b's baskets (covering the window) were fetched.
+    expected = sum(
+        basket.nbytes
+        for basket in reader.meta.branch("b").baskets_for_entries(10, 260)
+    )
+    assert cache.stats["bytes_fetched"] == expected
+
+
+def test_out_of_range_entry_rejected():
+    reader, fetcher, arrays = build()
+    cache = TTreeCache(reader)
+
+    def op():
+        yield from cache.read_entry(10_000)
+
+    with pytest.raises(RootIOError):
+        run(op())
+
+
+def test_decode_off_returns_none_payloads():
+    reader, fetcher, arrays = build()
+    cache = TTreeCache(reader, decode=False, entries_per_cluster=100)
+
+    def op():
+        record = yield from cache.read_entry(0)
+        return record
+
+    record = run(op())
+    assert record == {"a": None, "b": None}
+    assert cache.stats["bytes_decompressed"] > 0  # accounted, not done
+
+
+def test_decompression_cpu_model_advances_sim_clock():
+    from repro.concurrency import SimRuntime
+    from repro.net import LinkSpec, Network
+    from repro.server import HttpServer, ObjectStore, StorageApp
+    from repro.sim import Environment
+    from repro.core import Context
+    from repro.rootio import DavixFetcher
+
+    env = Environment()
+    net = Network(env)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route("client", "server", LinkSpec(latency=1e-5, bandwidth=1e10))
+    store = ObjectStore()
+    arrays = {"a": bytes(500 * 4)}
+    blob = write_tree_file("t", arrays, n_entries=500, basket_entries=100)
+    store.put("/t.root", blob)
+    HttpServer(SimRuntime(net, "server"), StorageApp(store), port=80).start()
+
+    runtime = SimRuntime(net, "client")
+    context = Context()
+
+    def op(bandwidth):
+        fetcher = DavixFetcher(context, "http://server/t.root")
+        reader = TreeFileReader(fetcher)
+        yield from reader.open()
+        cache = TTreeCache(
+            reader,
+            entries_per_cluster=100,
+            decompress_bandwidth=bandwidth,
+        )
+        start = runtime.now()
+        for entry in range(500):
+            yield from cache.read_entry(entry)
+        return runtime.now() - start
+
+    slow = runtime.run(op(bandwidth=1e6))
+    fast = runtime.run(op(bandwidth=1e12))
+    assert slow > fast
+    # 5 refills x 400 B uncompressed each at 1 MB/s.
+    assert slow - fast == pytest.approx(5 * 400 / 1e6, rel=0.2)
+
+
+def test_cache_requires_open_reader():
+    blob = write_tree_file("t", {"a": bytes(8)}, n_entries=2)
+    reader = TreeFileReader(LocalFetcher(blob))
+    with pytest.raises(RootIOError):
+        TTreeCache(reader)

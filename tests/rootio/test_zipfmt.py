@@ -1,0 +1,54 @@
+"""Tests for the basket compression codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RootIOError
+from repro.rootio import compress_basket, decompress_basket
+from repro.rootio.zipfmt import basket_overhead
+
+
+def test_roundtrip():
+    data = b"event data " * 1000
+    blob = compress_basket(data)
+    assert decompress_basket(blob) == data
+    assert len(blob) < len(data)  # repetitive data compresses
+
+
+def test_overhead_constant():
+    assert basket_overhead() == 11
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(compress_basket(b"data"))
+    blob[0:2] = b"XX"
+    with pytest.raises(RootIOError):
+        decompress_basket(bytes(blob))
+
+
+def test_truncated_rejected():
+    blob = compress_basket(b"data" * 100)
+    with pytest.raises(RootIOError):
+        decompress_basket(blob[:-5])
+    with pytest.raises(RootIOError):
+        decompress_basket(blob[:4])
+
+
+def test_corrupt_payload_rejected():
+    blob = bytearray(compress_basket(b"data" * 100))
+    blob[15] ^= 0xFF
+    with pytest.raises(RootIOError):
+        decompress_basket(bytes(blob))
+
+
+def test_unknown_method_rejected():
+    blob = bytearray(compress_basket(b"data"))
+    blob[2] = 99
+    with pytest.raises(RootIOError):
+        decompress_basket(bytes(blob))
+
+
+@given(st.binary(max_size=20_000), st.integers(min_value=0, max_value=9))
+def test_roundtrip_property(data, level):
+    assert decompress_basket(compress_basket(data, level=level)) == data

@@ -1,0 +1,98 @@
+"""Tests for the access log and its serve-loop integration."""
+
+import pytest
+
+from repro.server import ObjectStore, StorageApp
+from repro.server.accesslog import AccessEntry, AccessLog
+
+from tests.helpers import davix_world, get, one_request
+
+
+def entry(status=200, method="GET", duration=0.01, nbytes=100):
+    return AccessEntry(
+        timestamp=1.0,
+        client="client",
+        method=method,
+        path="/x",
+        status=status,
+        bytes_sent=nbytes,
+        duration=duration,
+    )
+
+
+def test_record_and_aggregate():
+    log = AccessLog()
+    log.record(entry(200, "GET"))
+    log.record(entry(404, "GET"))
+    log.record(entry(201, "PUT", nbytes=0))
+    assert len(log) == 3
+    assert log.total_requests == 3
+    assert log.total_bytes == 200
+    assert log.by_status() == {200: 1, 404: 1, 201: 1}
+    assert log.by_method() == {"GET": 2, "PUT": 1}
+
+
+def test_error_rate():
+    log = AccessLog()
+    assert log.error_rate() == 0.0
+    log.record(entry(200))
+    log.record(entry(503))
+    assert log.error_rate() == 0.5
+
+
+def test_latency_percentile():
+    log = AccessLog()
+    assert log.latency_percentile(0.5) is None
+    for duration in (0.01, 0.02, 0.03, 0.04, 0.10):
+        log.record(entry(duration=duration))
+    assert log.latency_percentile(0.0) == 0.01
+    assert log.latency_percentile(0.5) == pytest.approx(0.03)
+    assert log.latency_percentile(1.0) == 0.10
+    with pytest.raises(ValueError):
+        log.latency_percentile(2.0)
+
+
+def test_ring_buffer_capacity():
+    log = AccessLog(capacity=2)
+    for status in (200, 201, 204):
+        log.record(entry(status))
+    assert len(log) == 2
+    assert [e.status for e in log.entries] == [201, 204]
+    assert log.total_requests == 3  # monotone counters keep counting
+    with pytest.raises(ValueError):
+        AccessLog(capacity=0)
+
+
+def test_common_log_format():
+    line = entry().common_log_format()
+    assert '"GET /x HTTP/1.1" 200 100' in line
+    assert line.startswith("client - - [1.000000]")
+
+
+def test_render_tail():
+    log = AccessLog()
+    for i in range(5):
+        log.record(entry(200 + i))
+    rendered = log.render(2)
+    assert rendered.count("\n") == 1
+    assert "203" in rendered and "204" in rendered
+
+
+def test_serve_loop_records_requests():
+    client, app, store, _ = davix_world()
+    app.access_log = AccessLog()
+    store.put("/x", b"0123456789")
+    client.get("http://server/x")
+    client.pread("http://server/x", 0, 4)
+    try:
+        client.get("http://server/missing")
+    except Exception:
+        pass
+    log = app.access_log
+    assert log.total_requests == 3
+    statuses = [e.status for e in log.entries]
+    assert statuses == [200, 206, 404]
+    assert log.entries[0].bytes_sent == 10
+    assert log.entries[0].client == "client"
+    assert all(e.duration >= 0 for e in log.entries)
+    assert "GET /x" in log.render()

@@ -1,0 +1,77 @@
+"""The same storage server over real localhost sockets."""
+
+from repro.concurrency import ThreadRuntime
+from repro.http import Headers, Request, decode_byteranges
+from repro.http.multipart import content_type_boundary
+from repro.server import ObjectStore, StorageApp, real_server
+
+from tests.helpers import get, http_exchange, one_request, put
+
+
+def test_real_get_put_delete_cycle():
+    store = ObjectStore()
+    app = StorageApp(store)
+    runtime = ThreadRuntime()
+    with real_server(app) as server:
+        endpoint = ("127.0.0.1", server.port)
+        created = runtime.run(one_request(endpoint, put("/x", b"hello")))
+        assert created.status == 201
+        got = runtime.run(one_request(endpoint, get("/x")))
+        assert got.status == 200
+        assert got.body == b"hello"
+        gone = runtime.run(
+            one_request(endpoint, Request("DELETE", "/x"))
+        )
+        assert gone.status == 204
+        missing = runtime.run(one_request(endpoint, get("/x")))
+        assert missing.status == 404
+
+
+def test_real_multirange_over_sockets():
+    store = ObjectStore()
+    store.put("/x", bytes(range(200)))
+    app = StorageApp(store)
+    runtime = ThreadRuntime()
+    with real_server(app) as server:
+        endpoint = ("127.0.0.1", server.port)
+        response = runtime.run(
+            one_request(
+                endpoint,
+                get("/x", Headers([("Range", "bytes=0-1,100-101")])),
+            )
+        )
+        assert response.status == 206
+        boundary = content_type_boundary(response.content_type)
+        parts = decode_byteranges(response.body, boundary)
+        assert [(p.offset, p.data) for p in parts] == [
+            (0, bytes([0, 1])),
+            (100, bytes([100, 101])),
+        ]
+
+
+def test_real_keepalive_multiple_requests():
+    store = ObjectStore()
+    store.put("/x", b"abc" * 1000)
+    app = StorageApp(store)
+    runtime = ThreadRuntime()
+    with real_server(app) as server:
+        endpoint = ("127.0.0.1", server.port)
+        responses = runtime.run(
+            http_exchange(endpoint, [get("/x") for _ in range(5)])
+        )
+        assert [r.status for r in responses] == [200] * 5
+        assert all(r.body == b"abc" * 1000 for r in responses)
+        assert app.requests_handled == 5
+
+
+def test_real_large_streamed_body():
+    store = ObjectStore()
+    payload = bytes(range(256)) * 8192  # 2 MiB
+    store.put("/big", payload)
+    app = StorageApp(store)
+    runtime = ThreadRuntime()
+    with real_server(app) as server:
+        endpoint = ("127.0.0.1", server.port)
+        response = runtime.run(one_request(endpoint, get("/big")))
+        assert response.status == 200
+        assert response.body == payload

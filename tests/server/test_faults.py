@@ -1,0 +1,67 @@
+"""Tests for the fault-injection policy."""
+
+import pytest
+
+from repro.server import FaultPolicy
+
+
+def test_no_faults_by_default():
+    policy = FaultPolicy()
+    assert all(policy.next_action("/x") is None for _ in range(100))
+
+
+def test_broken_path_always_errors():
+    policy = FaultPolicy(error_status=503)
+    policy.break_path("/dead")
+    for _ in range(5):
+        action = policy.next_action("/dead")
+        assert action.kind == "error"
+        assert action.status == 503
+    assert policy.next_action("/alive") is None
+    policy.heal_path("/dead")
+    assert policy.next_action("/dead") is None
+
+
+def test_rates_are_deterministic_per_seed():
+    def rolls(seed):
+        policy = FaultPolicy(
+            error_rate=0.2, reset_rate=0.1, slow_rate=0.3, seed=seed
+        )
+        return [
+            getattr(policy.next_action("/x"), "kind", None)
+            for _ in range(50)
+        ]
+
+    assert rolls(1) == rolls(1)
+    assert rolls(1) != rolls(2)
+
+
+def test_rates_approximately_respected():
+    policy = FaultPolicy(error_rate=0.5, seed=3)
+    kinds = [
+        getattr(policy.next_action("/x"), "kind", None)
+        for _ in range(2000)
+    ]
+    errors = kinds.count("error")
+    assert 850 < errors < 1150
+
+
+def test_slow_action_carries_delay():
+    policy = FaultPolicy(slow_rate=1.0, slow_delay=2.5, seed=0)
+    action = policy.next_action("/x")
+    assert action.kind == "slow"
+    assert action.delay == 2.5
+
+
+def test_counters():
+    policy = FaultPolicy(error_rate=1.0, seed=0)
+    policy.next_action("/x")
+    policy.next_action("/x")
+    assert policy.injected["error"] == 2
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        FaultPolicy(error_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPolicy(reset_rate=-0.1)

@@ -1,0 +1,155 @@
+"""Tests for the S3-compatible interface and signed client requests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import DavixClient, RequestParams
+from repro.errors import PermissionDenied, RequestError
+from repro.http import Headers, Request, decode_byteranges
+from repro.http.multipart import content_type_boundary
+from repro.server import (
+    HttpServer,
+    ObjectStore,
+    S3App,
+    S3Credentials,
+    StorageApp,
+)
+from repro.server.s3 import compute_signature
+
+from tests.helpers import get, one_request, put, sim_world
+
+CREDS = S3Credentials(access_key="AKIATEST", secret_key="sekrit")
+
+
+def s3_world(credentials=CREDS):
+    client_rt, server_rt = sim_world()
+    store = ObjectStore()
+    store.mkcol("/bucket")
+    app = S3App(store, credentials=credentials)
+    HttpServer(server_rt, app, port=80).start()
+    params = RequestParams(s3_credentials=credentials)
+    client = DavixClient(client_rt, params=params)
+    return client, app, store
+
+
+def test_signed_put_get_delete_cycle():
+    client, app, store = s3_world()
+    url = "http://server/bucket/data/obj.bin"
+    client.put(url, b"s3-payload")
+    assert store.read("/bucket/data/obj.bin") == b"s3-payload"
+    assert client.get(url) == b"s3-payload"
+    assert client.stat(url).size == 10
+    client.delete(url)
+    assert not store.exists("/bucket/data/obj.bin")
+
+
+def test_unsigned_request_rejected_403():
+    client, app, store = s3_world()
+    store.put("/bucket/x", b"secret")
+    anon = DavixClient(client.runtime, params=RequestParams())
+    with pytest.raises(PermissionDenied):
+        anon.get("http://server/bucket/x")
+    assert app.auth_failures >= 1
+
+
+def test_wrong_secret_rejected():
+    client, app, store = s3_world()
+    store.put("/bucket/x", b"secret")
+    bad = DavixClient(
+        client.runtime,
+        params=RequestParams(
+            s3_credentials=S3Credentials("AKIATEST", "wrong")
+        ),
+    )
+    with pytest.raises(PermissionDenied):
+        bad.get("http://server/bucket/x")
+
+
+def test_public_bucket_needs_no_signature():
+    client, app, store = s3_world(credentials=None)
+    store.put("/bucket/x", b"open")
+    anon = DavixClient(client.runtime, params=RequestParams())
+    assert anon.get("http://server/bucket/x") == b"open"
+
+
+def test_range_and_vectored_reads_work_on_s3():
+    client, app, store = s3_world()
+    content = bytes(i % 251 for i in range(50_000))
+    store.put("/bucket/big", content)
+    url = "http://server/bucket/big"
+    assert client.pread(url, 1000, 100) == content[1000:1100]
+    reads = [(0, 10), (25_000, 20), (49_990, 10)]
+    assert client.pread_vec(url, reads) == [
+        content[o : o + n] for o, n in reads
+    ]
+
+
+def test_list_objects_xml():
+    client, app, store = s3_world()
+    store.put("/bucket/a/one.bin", b"1")
+    store.put("/bucket/a/two.bin", b"22")
+    store.put("/bucket/b/three.bin", b"333")
+
+    from tests.helpers import http_exchange
+    from repro.server.s3 import sign_request
+
+    def op():
+        request = Request("GET", "/bucket?list-type=2")
+        sign_request(request, CREDS, date="0.000000")
+        responses = yield from http_exchange(("server", 80), [request])
+        return responses[0]
+
+    response = client.runtime.run(op())
+    assert response.status == 200
+    root = ET.fromstring(response.body)
+    keys = [el.findtext("Key") for el in root.findall("Contents")]
+    assert keys == ["a/one.bin", "a/two.bin", "b/three.bin"]
+    assert root.findtext("KeyCount") == "3"
+
+
+def test_list_objects_prefix_filter():
+    client, app, store = s3_world()
+    store.put("/bucket/logs/x.log", b"1")
+    store.put("/bucket/data/y.bin", b"2")
+
+    from repro.server.s3 import sign_request
+    from tests.helpers import http_exchange
+
+    def op():
+        request = Request("GET", "/bucket?list-type=2&prefix=logs/")
+        sign_request(request, CREDS, date="0.000000")
+        responses = yield from http_exchange(("server", 80), [request])
+        return responses[0]
+
+    response = client.runtime.run(op())
+    root = ET.fromstring(response.body)
+    keys = [el.findtext("Key") for el in root.findall("Contents")]
+    assert keys == ["logs/x.log"]
+
+
+def test_missing_key_is_404_with_xml_code():
+    client, app, store = s3_world()
+    with pytest.raises(Exception) as info:
+        client.get("http://server/bucket/nope")
+    assert getattr(info.value, "status", None) == 404
+
+
+def test_missing_bucket_listing_404():
+    client, app, store = s3_world(credentials=None)
+    from tests.helpers import one_request
+
+    response = client.runtime.run(
+        one_request(("server", 80), get("/nobucket"))
+    )
+    assert response.status == 404
+    assert b"NoSuchBucket" in response.body
+
+
+def test_signature_is_method_and_path_bound():
+    sig_get = compute_signature(CREDS, "GET", "/bucket/x", "123")
+    sig_put = compute_signature(CREDS, "PUT", "/bucket/x", "123")
+    sig_other = compute_signature(CREDS, "GET", "/bucket/y", "123")
+    assert sig_get != sig_put
+    assert sig_get != sig_other
+    assert sig_get == compute_signature(CREDS, "GET", "/bucket/x", "123")

@@ -1,0 +1,48 @@
+"""Tests for PROPFIND multistatus building/parsing."""
+
+import pytest
+
+from repro.errors import HttpParseError
+from repro.server import DavResource, build_multistatus, parse_multistatus
+
+
+def test_roundtrip_file_and_collection():
+    resources = [
+        DavResource(href="/dir/", is_collection=True),
+        DavResource(
+            href="/dir/file.root",
+            is_collection=False,
+            size=700_000_000,
+            mtime=1_400_000_000.0,
+            etag='"abc"',
+        ),
+    ]
+    parsed = parse_multistatus(build_multistatus(resources))
+    assert len(parsed) == 2
+    assert parsed[0].is_collection
+    assert parsed[0].href == "/dir/"
+    assert parsed[1].size == 700_000_000
+    assert parsed[1].mtime == 1_400_000_000.0
+    assert parsed[1].etag == '"abc"'
+    assert parsed[1].name == "file.root"
+
+
+def test_resource_name_of_collection_href():
+    assert DavResource(href="/a/b/", is_collection=True).name == "b"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(HttpParseError):
+        parse_multistatus(b"this is not xml")
+    with pytest.raises(HttpParseError):
+        parse_multistatus(b"<wrong/>")
+
+
+def test_parse_tolerates_missing_optionals():
+    body = build_multistatus(
+        [DavResource(href="/x", is_collection=False, size=5)]
+    )
+    parsed = parse_multistatus(body)[0]
+    assert parsed.size == 5
+    assert parsed.mtime is None
+    assert parsed.etag is None

@@ -1,0 +1,301 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+        yield env.timeout(2.5)
+        return env.now
+
+    result = env.run(env.process(proc()))
+    assert result == 7.5
+    assert env.now == 7.5
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1, value="hello")
+        return value
+
+    assert env.run(env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result * 2
+
+    assert env.run(env.process(parent())) == 84
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    log = []
+
+    def waiter(delay, tag):
+        yield env.timeout(delay)
+        log.append((env.now, tag))
+
+    env.process(waiter(3, "c"))
+    env.process(waiter(1, "a"))
+    env.process(waiter(2, "b"))
+    env.run()
+    assert log == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    log = []
+
+    def waiter(tag):
+        yield env.timeout(1)
+        log.append(tag)
+
+    for tag in "abcde":
+        env.process(waiter(tag))
+    env.run()
+    assert log == list("abcde")
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    evt = env.event()
+
+    def trigger():
+        yield env.timeout(4)
+        evt.succeed("done")
+
+    def wait():
+        value = yield evt
+        return (env.now, value)
+
+    env.process(trigger())
+    assert env.run(env.process(wait())) == (4, "done")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_failed_event_raises_in_process():
+    env = Environment()
+    evt = env.event()
+
+    def proc():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    task = env.process(proc())
+    evt.fail(RuntimeError("boom"))
+    assert env.run(task) == "caught boom"
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_run_until_time():
+    env = Environment()
+    ticks = []
+
+    def clock():
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(clock())
+    env.run(until=10)
+    assert env.now == 10
+    assert ticks == list(range(1, 11))
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.timeout(1)
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=3)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="one")
+        t2 = env.timeout(5, value="five")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    when, values = env.run(env.process(proc()))
+    assert when == 5
+    assert values == ["one", "five"]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    when, values = env.run(env.process(proc()))
+    assert when == 1
+    assert values == ["fast"]
+
+
+def test_condition_operators():
+    env = Environment()
+
+    def proc():
+        a = env.timeout(1)
+        b = env.timeout(2)
+        yield a | b
+        first = env.now
+        c = env.timeout(1)
+        d = env.timeout(3)
+        yield c & d
+        return (first, env.now)
+
+    assert env.run(env.process(proc())) == (1, 4)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except ProcessInterrupt as exc:
+            return ("interrupted", exc.cause, env.now)
+
+    def attacker(target):
+        yield env.timeout(3)
+        target.interrupt(cause="stop now")
+
+    task = env.process(victim())
+    env.process(attacker(task))
+    assert env.run(task) == ("interrupted", "stop now", 3)
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    task = env.process(quick())
+    env.run(task)
+    with pytest.raises(SimulationError):
+        task.interrupt()
+
+
+def test_yield_on_already_processed_event_resumes():
+    env = Environment()
+    evt = env.event()
+    evt.succeed("early")
+
+    def late():
+        yield env.timeout(2)
+        value = yield evt  # evt processed long ago
+        return value
+
+    # Drain evt's callbacks first.
+    assert env.run(env.process(late())) == "early"
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+
+    task = env.process(proc())
+    assert task.is_alive
+    env.run()
+    assert not task.is_alive
+
+
+def test_run_until_event_failure_raises():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    task = env.process(proc())
+    with pytest.raises(KeyError):
+        env.run(task)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        env = Environment()
+        log = []
+
+        def proc(pid):
+            for step in range(3):
+                yield env.timeout((pid + 1) * 0.5)
+                log.append((round(env.now, 6), pid, step))
+
+        for pid in range(4):
+            env.process(proc(pid))
+        env.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,181 @@
+"""Unit tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(tag, hold):
+        with res.request() as req:
+            yield req
+            log.append(("start", tag, env.now))
+            yield env.timeout(hold)
+            log.append(("end", tag, env.now))
+
+    env.process(worker("a", 5))
+    env.process(worker("b", 5))
+    env.process(worker("c", 5))
+    env.run()
+    starts = {tag: t for kind, tag, t in log if kind == "start"}
+    assert starts == {"a": 0, "b": 0, "c": 5}
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    for tag in "abcd":
+        env.process(worker(tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_counters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def checker():
+        yield env.timeout(1)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    env.process(holder())
+    env.process(holder())
+    env.process(checker())
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_release_unqueued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def impatient():
+        req = res.request()
+        yield env.timeout(1)
+        req.release()  # withdraw before grant
+
+    def late():
+        yield env.timeout(2)
+        with res.request() as req:
+            yield req
+            return env.now
+
+    env.process(holder())
+    env.process(impatient())
+    task = env.process(late())
+    assert env.run(task) == 5  # not blocked behind the withdrawn request
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_store_fifo_and_blocking():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    def producer():
+        store.put("x")
+        yield env.timeout(2)
+        store.put("y")
+        yield env.timeout(2)
+        store.put("z")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert received == [(0, "x"), (2, "y"), (4, "z")]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put(1)
+    assert len(store) == 1
+    assert store.try_get() == 1
+    assert store.try_get() is None
+
+
+def test_container_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    log = []
+
+    def consumer():
+        yield tank.get(30)
+        log.append(("got", env.now))
+
+    def producer():
+        yield env.timeout(1)
+        yield tank.put(10)
+        yield env.timeout(1)
+        yield tank.put(25)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [("got", 2)]
+    assert tank.level == 5
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def producer():
+        yield tank.put(5)
+        log.append(("put", env.now))
+
+    def consumer():
+        yield env.timeout(3)
+        yield tank.get(8)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("put", 3)]
+    assert tank.level == 7
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+    with pytest.raises(ValueError):
+        tank.put(-1)

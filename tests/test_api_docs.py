@@ -1,0 +1,48 @@
+"""docs/API.md must stay in sync with the public surface, and every
+public symbol must be documented."""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import sys
+
+import repro
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import gen_api_docs  # noqa: E402
+
+
+def test_api_docs_in_sync():
+    assert gen_api_docs.OUTPUT.exists(), "run tools/gen_api_docs.py"
+    assert gen_api_docs.OUTPUT.read_text() == gen_api_docs.render()
+
+
+def test_every_public_symbol_has_a_docstring():
+    undocumented = []
+    for module_name in gen_api_docs.iter_modules():
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []) or []:
+            member = getattr(module, name, None)
+            if member is None or not (
+                inspect.isclass(member) or inspect.isfunction(member)
+            ):
+                continue
+            if member.__module__ and not member.__module__.startswith(
+                "repro"
+            ):
+                continue  # re-exported stdlib helpers
+            if not inspect.getdoc(member):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, f"undocumented: {undocumented}"
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for module_name in gen_api_docs.iter_modules():
+        module = importlib.import_module(module_name)
+        if not module.__doc__:
+            missing.append(module_name)
+    assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,58 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench import PAPER_FIG4, ratio, render_table, summarize
+
+
+def test_summarize():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats["mean"] == 2.5
+    assert stats["min"] == 1.0
+    assert stats["max"] == 4.0
+    assert stats["median"] == 2.5
+    assert stats["n"] == 4
+    assert stats["stdev"] > 0
+
+
+def test_summarize_single_value():
+    stats = summarize([5.0])
+    assert stats["stdev"] == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_ratio():
+    assert ratio(10, 4) == 2.5
+    assert ratio(1, 0) == float("inf")
+
+
+def test_render_table_alignment():
+    table = render_table(
+        "Demo",
+        ["name", "value"],
+        [["short", 1.5], ["a-longer-name", 123456.0]],
+        note="a note",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "== Demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "a-longer-name" in table
+    assert "123,456" in table  # thousands formatting
+    assert "1.50" in table
+    assert lines[-1] == "a note"
+
+
+def test_render_empty_rows():
+    table = render_table("Empty", ["a", "b"], [])
+    assert "Empty" in table
+
+
+def test_paper_fig4_reference_values():
+    assert PAPER_FIG4[("davix", "wan")] == 203.49
+    assert PAPER_FIG4[("xrootd", "wan")] == 173.20
+    assert len(PAPER_FIG4) == 6

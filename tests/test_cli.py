@@ -1,0 +1,163 @@
+"""CLI tests against a live localhost server."""
+
+import io
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+from repro.server import ObjectStore, StorageApp, real_server
+
+
+@pytest.fixture()
+def live():
+    store = ObjectStore()
+    app = StorageApp(store)
+    with real_server(app) as server:
+        yield f"http://127.0.0.1:{server.port}", store, app
+
+
+def run_cli(argv, out=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sink = out if out is not None else io.StringIO()
+    code = COMMANDS[args.command](args, out=sink)
+    return code, sink.getvalue()
+
+
+def test_put_then_get(live, tmp_path):
+    base, store, app = live
+    source = tmp_path / "in.bin"
+    source.write_bytes(b"cli-payload")
+    code, output = run_cli(["put", f"{base}/data/x.bin", str(source)])
+    assert code == 0
+    assert "HTTP 201" in output
+    assert store.read("/data/x.bin") == b"cli-payload"
+
+    target = tmp_path / "out.bin"
+    code, output = run_cli(["get", f"{base}/data/x.bin", str(target)])
+    assert code == 0
+    assert target.read_bytes() == b"cli-payload"
+
+
+def test_ls_and_stat(live, tmp_path):
+    base, store, app = live
+    store.put("/dir/a.bin", b"12345")
+    store.put("/dir/b.bin", b"1")
+    code, output = run_cli(["ls", f"{base}/dir"])
+    assert code == 0
+    assert output.split() == ["a.bin", "b.bin"]
+
+    code, output = run_cli(["ls", "--long", f"{base}/dir"])
+    assert "- " in output and " 5 " in output.replace("    ", " ")
+
+    code, output = run_cli(["stat", f"{base}/dir/a.bin"])
+    assert "size:  5" in output
+    assert "type:  file" in output
+
+
+def test_rm_and_mkdir(live):
+    base, store, app = live
+    store.put("/x", b"gone soon")
+    code, _ = run_cli(["rm", f"{base}/x"])
+    assert code == 0
+    assert not store.exists("/x")
+
+    code, _ = run_cli(["mkdir", f"{base}/newdir"])
+    assert code == 0
+    assert store.is_collection("/newdir")
+
+
+def test_metalink_command(live):
+    base, store, app = live
+    store.put("/f", b"content")
+    app.replicas["/f"] = [f"{base}/f", "http://mirror/f"]
+    code, output = run_cli(["metalink", f"{base}/f"])
+    assert code == 0
+    assert "size: 7" in output
+    assert "replica[1]:" in output
+    assert "http://mirror/f" in output
+
+
+def test_get_with_failover_flag(live):
+    base, store, app = live
+    store.put("/f", b"fail-over me")
+    app.replicas["/f"] = [f"{base}/f"]
+    code, output = run_cli(["get", "--failover", f"{base}/f", "/dev/null"])
+    assert code == 0
+
+
+def test_main_reports_errors(live, capsys):
+    base, store, app = live
+    assert main(["stat", f"{base}/missing"]) == 1
+    assert "davix-tool:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_same_server_copy_and_move(live):
+    base, store, app = live
+    store.put("/a", b"data")
+    code, output = run_cli(["copy", f"{base}/a", f"{base}/b"])
+    assert code == 0
+    assert store.read("/b") == b"data"
+    code, output = run_cli(["copy", "--move", f"{base}/b", f"{base}/c"])
+    assert code == 0
+    assert store.read("/c") == b"data"
+    assert not store.exists("/b")
+
+
+def test_cli_third_party_copy():
+    from repro.server import ObjectStore, StorageApp, real_server
+
+    src_store = ObjectStore()
+    src_store.put("/payload", b"tpc-bytes")
+    with real_server(StorageApp(src_store)) as source:
+        with real_server(StorageApp(ObjectStore())) as target:
+            target_app = target.app
+            code, output = run_cli(
+                [
+                    "copy",
+                    f"http://127.0.0.1:{source.port}/payload",
+                    f"http://127.0.0.1:{target.port}/copied",
+                ]
+            )
+            assert code == 0
+            assert "third-party" in output
+            assert target_app.store.read("/copied") == b"tpc-bytes"
+
+
+def test_cli_get_through_proxy():
+    """The --proxy flag routes traffic through a caching proxy."""
+    from repro.server import (
+        HttpServer,
+        ObjectStore,
+        ProxyApp,
+        StorageApp,
+        real_server,
+    )
+    from repro.concurrency import ThreadRuntime
+
+    origin_store = ObjectStore()
+    origin_store.put("/x", b"via-proxy")
+    with real_server(StorageApp(origin_store)) as origin:
+        proxy_app = ProxyApp()
+        runtime = ThreadRuntime()
+        proxy = HttpServer(runtime, proxy_app, port=0, host="127.0.0.1")
+        proxy.start()
+        try:
+            code, output = run_cli(
+                [
+                    "--proxy",
+                    f"http://127.0.0.1:{proxy.port}",
+                    "get",
+                    f"http://127.0.0.1:{origin.port}/x",
+                    "/dev/null",
+                ]
+            )
+            assert code == 0
+            assert proxy_app.stats["misses"] == 1
+        finally:
+            proxy.stop()

@@ -1,0 +1,215 @@
+"""End-to-end XRootD client/server tests over the simulator."""
+
+import pytest
+
+from repro.concurrency import SimRuntime
+from repro.errors import XrootdError
+from repro.server import ObjectStore
+from repro.xrootd import ReadAheadWindow, XrdClient, XrdServer, serve_xrootd
+
+from tests.helpers import sim_world
+
+
+def xrd_world(latency=0.005, bandwidth=1e8):
+    client_rt, server_rt = sim_world(latency=latency, bandwidth=bandwidth)
+    store = ObjectStore()
+    server = XrdServer(store)
+    serve_xrootd(server_rt, server, port=1094)
+    return client_rt, store, server
+
+
+def test_open_stat_read_close():
+    client_rt, store, server = xrd_world()
+    content = bytes(i % 251 for i in range(100_000))
+    store.put("/data/f.root", content)
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        yield from client.ping()
+        size, is_dir = yield from client.stat("/data/f.root")
+        f = yield from client.open("/data/f.root")
+        data = yield from client.read(f, 1000, 500)
+        yield from client.close_file(f)
+        yield from client.disconnect()
+        return size, is_dir, f.size, data
+
+    size, is_dir, fsize, data = client_rt.run(op())
+    assert size == fsize == len(content)
+    assert not is_dir
+    assert data == content[1000:1500]
+
+
+def test_open_missing_file_errors():
+    client_rt, store, server = xrd_world()
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        try:
+            yield from client.open("/nope")
+        except XrootdError as exc:
+            return str(exc)
+
+    assert "no such object" in client_rt.run(op())
+
+
+def test_readv_returns_chunks_in_order():
+    client_rt, store, server = xrd_world()
+    content = bytes(i % 251 for i in range(50_000))
+    store.put("/x", content)
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        chunks = yield from client.readv(
+            f, [(0, 10), (40_000, 100), (25_000, 50)]
+        )
+        return chunks
+
+    chunks = client_rt.run(op())
+    assert chunks == [
+        content[0:10],
+        content[40_000:40_100],
+        content[25_000:25_050],
+    ]
+
+
+def test_concurrent_reads_multiplex_out_of_order():
+    """A big read issued first must not delay a small read issued
+    second — the core multiplexing property HTTP/1.1 lacks."""
+    client_rt, store, server = xrd_world(latency=0.01, bandwidth=2e6)
+    store.put("/big", b"B" * 2_000_000)
+    store.put("/small", b"s" * 10)
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        big = yield from client.open("/big")
+        small = yield from client.open("/small")
+        big_promise = yield from client.read_nowait(big, 0, 2_000_000)
+        small_promise = yield from client.read_nowait(small, 0, 10)
+        small_data = yield from client.read_result(small_promise)
+        small_done = client_rt.now()
+        big_data = yield from client.read_result(big_promise)
+        big_done = client_rt.now()
+        return small_data, small_done, len(big_data), big_done
+
+    small_data, small_done, big_len, big_done = client_rt.run(op())
+    assert small_data == b"s" * 10
+    assert big_len == 2_000_000
+    assert small_done < big_done * 0.5  # small finished long before
+
+
+def test_connection_loss_rejects_pending_reads():
+    client_rt, store, server = xrd_world()
+    store.put("/x", b"data" * 1000)
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        promise = yield from client.read_nowait(f, 0, 4000)
+        client_rt.network.host("server").fail()
+        try:
+            yield from client.read_result(promise)
+        except Exception as exc:
+            return type(exc).__name__
+
+    assert client_rt.run(op()) in ("ConnectionClosed",)
+
+
+def test_readahead_window_hits_planned_reads():
+    client_rt, store, server = xrd_world(latency=0.05)
+    content = bytes(i % 251 for i in range(1_000_000))
+    store.put("/x", content)
+    segments = [(i * 10_000, 10_000) for i in range(100)]
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        window = ReadAheadWindow(client, f, window_bytes=100_000)
+        window.set_plan(segments)
+        out = bytearray()
+        for offset, length in segments:
+            data = yield from window.read(offset, length)
+            out.extend(data)
+        return bytes(out), window.stats
+
+    data, stats = client_rt.run(op())
+    assert data == content
+    assert stats["hits"] == 100
+    assert stats["misses"] == 0
+
+
+def test_readahead_hides_latency_vs_sync_reads():
+    """With 100 ms RTT, 50 planned reads: sync pays 50 RTTs, the window
+    overlaps them."""
+    segments = [(i * 1000, 1000) for i in range(50)]
+
+    def run(window_bytes):
+        client_rt, store, server = xrd_world(latency=0.05, bandwidth=1e8)
+        store.put("/x", bytes(100_000))
+
+        def op():
+            client = yield from XrdClient.connect(("server", 1094))
+            f = yield from client.open("/x")
+            window = ReadAheadWindow(client, f, window_bytes=window_bytes)
+            window.set_plan(segments)
+            for offset, length in segments:
+                yield from window.read(offset, length)
+            return client_rt.now()
+
+        return client_rt.run(op())
+
+    sync_ish = run(window_bytes=1)  # window of 1 byte: no overlap
+    windowed = run(window_bytes=64_000)
+    assert windowed < sync_ish / 5
+
+
+def test_off_plan_read_falls_back_to_sync():
+    client_rt, store, server = xrd_world()
+    store.put("/x", bytes(range(256)))
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        window = ReadAheadWindow(client, f, window_bytes=1000)
+        window.set_plan([(0, 10)])
+        surprise = yield from window.read(100, 10)  # not in the plan
+        planned = yield from window.read(0, 10)
+        yield from window.drain()
+        return surprise, planned, dict(window.stats)
+
+    surprise, planned, stats = client_rt.run(op())
+    assert surprise == bytes(range(100, 110))
+    assert planned == bytes(range(10))
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+
+
+def test_bad_handle_errors():
+    client_rt, store, server = xrd_world()
+    store.put("/x", b"abc")
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        f.handle = 999
+        try:
+            yield from client.read(f, 0, 3)
+        except XrootdError as exc:
+            return str(exc)
+
+    assert "bad file handle" in client_rt.run(op())
+
+
+def test_server_counters():
+    client_rt, store, server = xrd_world()
+    store.put("/x", b"0123456789")
+
+    def op():
+        client = yield from XrdClient.connect(("server", 1094))
+        f = yield from client.open("/x")
+        yield from client.read(f, 0, 10)
+        yield from client.read(f, 0, 5)
+
+    client_rt.run(op())
+    assert server.requests_handled == 3  # open + 2 reads
+    assert server.bytes_served == 15

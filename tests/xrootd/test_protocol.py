@@ -1,0 +1,127 @@
+"""Tests for the XRootD frame and payload codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XrootdError
+from repro.xrootd import protocol as proto
+
+
+def test_frame_roundtrip():
+    wire = proto.encode_request(7, proto.KXR_READ, b"payload")
+    reader = proto.FrameReader()
+    reader.feed(wire)
+    assert reader.next_frame() == (7, proto.KXR_READ, b"payload")
+    assert reader.next_frame() is None
+
+
+def test_frame_reader_incremental():
+    wire = proto.encode_response(3, proto.STATUS_OK, b"x" * 100)
+    reader = proto.FrameReader()
+    for i in range(len(wire) - 1):
+        reader.feed(wire[i : i + 1])
+        if i < len(wire) - 2:
+            assert reader.next_frame() is None
+    reader.feed(wire[-1:])
+    assert reader.next_frame() == (3, proto.STATUS_OK, b"x" * 100)
+
+
+def test_multiple_frames_in_one_feed():
+    wire = proto.encode_request(1, proto.KXR_PING) + proto.encode_request(
+        2, proto.KXR_PING
+    )
+    reader = proto.FrameReader()
+    reader.feed(wire)
+    assert reader.next_frame()[0] == 1
+    assert reader.next_frame()[0] == 2
+    assert reader.next_frame() is None
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(XrootdError):
+        proto.encode_request(1, proto.KXR_READ, b"x" * (proto.MAX_DLEN + 1))
+
+
+def test_open_payload_roundtrip():
+    payload = proto.encode_open("/data/événements.root")
+    assert proto.decode_open(payload) == "/data/événements.root"
+
+
+def test_open_reply_roundtrip():
+    payload = proto.encode_open_reply(42, 700_000_000)
+    assert proto.decode_open_reply(payload) == (42, 700_000_000)
+
+
+def test_read_payload_roundtrip():
+    payload = proto.encode_read(5, 123_456_789_012, 65536)
+    assert proto.decode_read(payload) == (5, 123_456_789_012, 65536)
+
+
+def test_readv_roundtrip():
+    chunks = [(1, 0, 100), (1, 5000, 200), (2, 10, 30)]
+    assert proto.decode_readv(proto.encode_readv(chunks)) == chunks
+
+
+def test_readv_reply_roundtrip():
+    pieces = [b"abc", b"", b"x" * 1000]
+    assert proto.decode_readv_reply(proto.encode_readv_reply(pieces)) == (
+        pieces
+    )
+
+
+def test_readv_reply_truncation_detected():
+    wire = proto.encode_readv_reply([b"abcdef"])
+    with pytest.raises(XrootdError):
+        proto.decode_readv_reply(wire[:-2])
+    with pytest.raises(XrootdError):
+        proto.decode_readv_reply(wire + b"junk")
+
+
+def test_stat_reply_roundtrip():
+    assert proto.decode_stat_reply(proto.encode_stat_reply(123, True)) == (
+        123,
+        True,
+    )
+    assert proto.decode_stat_reply(proto.encode_stat_reply(0, False)) == (
+        0,
+        False,
+    )
+
+
+def test_error_roundtrip():
+    payload = proto.encode_error(3011, "file not found")
+    assert proto.decode_error(payload) == (3011, "file not found")
+
+
+def test_close_roundtrip():
+    assert proto.decode_close(proto.encode_close(17)) == 17
+
+
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=65535),
+    st.binary(max_size=4096),
+    st.integers(min_value=1, max_value=64),
+)
+def test_frame_roundtrip_any_split(streamid, code, payload, step):
+    wire = proto.encode_request(streamid, code, payload)
+    reader = proto.FrameReader()
+    frames = []
+    for i in range(0, len(wire), step):
+        reader.feed(wire[i : i + step])
+        while True:
+            frame = reader.next_frame()
+            if frame is None:
+                break
+            frames.append(frame)
+    assert frames == [(streamid, code, payload)]
+
+
+@given(
+    st.lists(st.binary(max_size=500), min_size=0, max_size=10)
+)
+def test_readv_reply_property(pieces):
+    assert proto.decode_readv_reply(proto.encode_readv_reply(pieces)) == (
+        pieces
+    )
