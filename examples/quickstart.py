@@ -52,10 +52,10 @@ def main() -> None:
         assert chunks == [payload[o : o + n] for o, n in reads]
 
         # -- pool statistics -------------------------------------------------
-        stats = client.context.pool.stats
+        stats = client.pool_stats()
         print(
-            f"session pool: {stats['hits']} hits, "
-            f"{stats['misses']} misses (one TCP connection reused "
+            f"session pool: {stats.hits} hits, "
+            f"{stats.misses} misses (one TCP connection reused "
             "across every call above)"
         )
 

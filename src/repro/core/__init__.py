@@ -22,7 +22,7 @@ from repro.core.multistream import (
     multistream_download,
 )
 from repro.core.pipelining import pipeline_requests
-from repro.core.pool import SessionPool
+from repro.core.pool import PoolStats, SessionPool
 from repro.core.posix import DavFd, DavPosix
 from repro.core.session import Session, StaleSession, open_session
 from repro.core.vectored import (
@@ -47,6 +47,7 @@ __all__ = [
     "StreamStats",
     "multistream_download",
     "pipeline_requests",
+    "PoolStats",
     "SessionPool",
     "DavFd",
     "DavPosix",

@@ -4,6 +4,15 @@ Binds a :class:`~repro.core.context.Context` to a runtime (simulated or
 real sockets) and exposes plain-call methods — what an application or
 the CLI uses. Every method simply runs the corresponding effect op on
 the runtime.
+
+Observability is first-class on this surface: construct with
+``DavixClient(runtime, params=…, metrics=…, tracer=…)`` (or hand in a
+pre-composed :class:`Context`) and read back through
+:meth:`DavixClient.metrics`, :meth:`DavixClient.tracer`,
+:meth:`DavixClient.pool_stats` and :meth:`DavixClient.span`. Per-call
+``params`` overrides all funnel through one ``_resolve_params`` helper,
+so every method accepts either a full :class:`RequestParams` or keyword
+overrides applied on top of the context default.
 """
 
 from __future__ import annotations
@@ -16,8 +25,10 @@ from repro.core.dispatch import run_parallel
 from repro.core.failover import with_failover
 from repro.core.file import DavFile, FileStat
 from repro.core.multistream import MultistreamResult, multistream_download
+from repro.core.pool import PoolStats
 from repro.core.posix import DavPosix
 from repro.metalink import Metalink
+from repro.obs import MetricsRegistry, Span, Tracer
 
 __all__ = ["DavixClient"]
 
@@ -31,6 +42,7 @@ class DavixClient:
         client = DavixClient(runtime)
         client.put("http://127.0.0.1:8080/data/x", b"payload")
         assert client.get("http://127.0.0.1:8080/data/x") == b"payload"
+        print(client.pool_stats().hit_rate)
     """
 
     def __init__(
@@ -38,17 +50,59 @@ class DavixClient:
         runtime: Runtime,
         context: Optional[Context] = None,
         params: Optional[RequestParams] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
+        if context is not None and (
+            metrics is not None or tracer is not None
+        ):
+            raise ValueError(
+                "pass metrics/tracer either to the Context or to the "
+                "client, not both"
+            )
         self.runtime = runtime
-        self.context = context or Context(params=params)
-        # The blacklist and session-age logic need the runtime's clock.
+        self.context = context or Context(
+            params=params, metrics=metrics, tracer=tracer
+        )
+        # The blacklist and session-age logic need the runtime's clock
+        # (the tracer follows through context._now).
         self.context.clock = runtime.now
         self.posix = DavPosix(self.context, self.context.params)
 
+    # -- observability accessors ----------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The metric registry every layer of this client records into."""
+        return self.context.metrics
+
+    def tracer(self) -> Tracer:
+        """The tracer producing this client's request spans."""
+        return self.context.tracer
+
+    def pool_stats(self) -> PoolStats:
+        """Typed snapshot of the session pool's usage counters."""
+        return self.context.pool.stats()
+
+    def span(self, name: str, **attrs) -> Span:
+        """Start an application-level span (context manager) so client
+        calls made inside it nest under one trace."""
+        return self.context.tracer.start(name, **attrs)
+
     # -- helpers -------------------------------------------------------------
 
+    def _resolve_params(
+        self, params: Optional[RequestParams] = None, **overrides
+    ) -> RequestParams:
+        """The effective params for one call: the given bundle or the
+        context default, with keyword overrides applied on top."""
+        base = params if params is not None else self.context.params
+        return base.replace(**overrides) if overrides else base
+
     def _file(self, url, params: Optional[RequestParams]) -> DavFile:
-        return DavFile(self.context, url, params or self.context.params)
+        return DavFile(self.context, url, self._resolve_params(params))
+
+    def _posix(self, params: Optional[RequestParams]) -> DavPosix:
+        return DavPosix(self.context, self._resolve_params(params))
 
     # -- object operations ----------------------------------------------------
 
@@ -89,12 +143,10 @@ class DavixClient:
     def listdir(
         self, url, params: Optional[RequestParams] = None
     ) -> List[Tuple[str, FileStat]]:
-        posix = DavPosix(self.context, params or self.context.params)
-        return self.runtime.run(posix.listdir(url))
+        return self.runtime.run(self._posix(params).listdir(url))
 
     def mkdir(self, url, params: Optional[RequestParams] = None) -> None:
-        posix = DavPosix(self.context, params or self.context.params)
-        self.runtime.run(posix.mkdir(url))
+        self.runtime.run(self._posix(params).mkdir(url))
 
     def rename(
         self,
@@ -104,9 +156,10 @@ class DavixClient:
         params: Optional[RequestParams] = None,
     ) -> None:
         """Server-side rename (WebDAV MOVE)."""
-        posix = DavPosix(self.context, params or self.context.params)
         self.runtime.run(
-            posix.rename(source_url, destination_url, overwrite)
+            self._posix(params).rename(
+                source_url, destination_url, overwrite
+            )
         )
 
     def copy(
@@ -117,9 +170,10 @@ class DavixClient:
         params: Optional[RequestParams] = None,
     ) -> None:
         """Server-side copy (WebDAV COPY) — no data crosses the client."""
-        posix = DavPosix(self.context, params or self.context.params)
         self.runtime.run(
-            posix.copy(source_url, destination_url, overwrite)
+            self._posix(params).copy(
+                source_url, destination_url, overwrite
+            )
         )
 
     # -- positional / vectored I/O ------------------------------------------------
@@ -158,7 +212,7 @@ class DavixClient:
         metalink_url=None,
     ) -> bytes:
         """GET with transparent Metalink replica fail-over."""
-        params = params or self.context.params
+        params = self._resolve_params(params)
 
         def attempt(target):
             data = yield from DavFile(
@@ -187,7 +241,7 @@ class DavixClient:
             multistream_download(
                 self.context,
                 url,
-                params or self.context.params,
+                self._resolve_params(params),
                 metalink_url=metalink_url,
             )
         )
@@ -201,7 +255,7 @@ class DavixClient:
         params: Optional[RequestParams] = None,
     ) -> List[bytes]:
         """Fetch many objects through the pool dispatcher."""
-        params = params or self.context.params
+        params = self._resolve_params(params)
 
         def job(url):
             def thunk():

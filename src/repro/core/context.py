@@ -5,6 +5,12 @@ Mirrors the public surface of the original libdavix: a
 :class:`RequestParams` bundles per-operation behaviour — redirect
 policy, retries, keep-alive, vectored-I/O limits and the Metalink
 strategy from Section 2.4 of the paper.
+
+The Context is also the observability composition root:
+``Context(params=…, metrics=…, tracer=…)`` wires one
+:class:`~repro.obs.MetricsRegistry` and one
+:class:`~repro.obs.Tracer` through the whole request path (pool,
+sessions, vectored I/O, failover) — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.pool import SessionPool
 from repro.net.tcp import TcpOptions
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["MetalinkMode", "RequestParams", "Context"]
 
@@ -95,17 +102,24 @@ class RequestParams:
         if self.multistream_chunk < 1 or self.multistream_max_streams < 1:
             raise ValueError("multistream settings must be >= 1")
 
-    def with_(self, **changes) -> "RequestParams":
-        """A copy with the given fields replaced."""
+    def replace(self, **changes) -> "RequestParams":
+        """A copy with the given fields replaced (the uniform override
+        primitive every client method routes through)."""
         return replace(self, **changes)
+
+    def with_(self, **changes) -> "RequestParams":
+        """Alias of :meth:`replace` (the historical spelling)."""
+        return self.replace(**changes)
 
 
 class Context:
-    """Shared davix state: the session pool, blacklist and counters.
+    """Shared davix state: pool, blacklist, metrics and tracer.
 
     One Context per client host; cheap to create, intended to be
     long-lived so the pool's recycled sessions accumulate (the paper's
-    "session recycling" benefit).
+    "session recycling" benefit). It is the single composition root:
+    the session pool mirrors into ``metrics``, and every request
+    carries spans produced by ``tracer``.
     """
 
     def __init__(
@@ -113,13 +127,24 @@ class Context:
         params: Optional[RequestParams] = None,
         pool_max_per_origin: int = 16,
         clock=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.params = params or RequestParams()
         #: Injected time source (simulated or monotonic); settable so
         #: blacklist TTLs follow the right clock.
         self.clock = clock or (lambda: 0.0)
+        #: The metric registry every layer on this context records into.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The span producer; follows ``self.clock`` even when that is
+        #: reassigned later (DavixClient points it at the runtime).
+        self.tracer = tracer if tracer is not None else Tracer(
+            clock=self._now
+        )
         self.pool = SessionPool(
-            max_idle_per_origin=pool_max_per_origin, clock=self._now
+            max_idle_per_origin=pool_max_per_origin,
+            clock=self._now,
+            metrics=self.metrics,
         )
         #: origin -> expiry time of the blacklist entry.
         self._blacklist: Dict[Tuple, float] = {}
@@ -152,4 +177,11 @@ class Context:
         return True
 
     def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a legacy counter and its registry mirror.
+
+        The dict form (``context.counters``) predates the registry and
+        is kept for existing call sites; the same event lands in
+        ``metrics`` as the counter ``client.<name>_total``.
+        """
         self.counters[counter] = self.counters.get(counter, 0) + amount
+        self.metrics.counter(f"client.{counter}_total").inc(amount)

@@ -67,6 +67,7 @@ def with_failover(
     """
     params = params or context.params
     primary = url if isinstance(url, Url) else Url.parse(url)
+    metrics = context.metrics
 
     try:
         result = yield from operation(primary)
@@ -77,32 +78,46 @@ def with_failover(
     if params.metalink_mode == MetalinkMode.DISABLED:
         raise primary_error
     context.blacklist(primary.origin)
-
-    source = metalink_url or primary
-    if not isinstance(source, Url):
-        source = Url.parse(source)
-    try:
-        metalink = yield from DavFile(
-            context, source, params
-        ).get_metalink()
-    except (DavixError, MetalinkError, *FAILOVER_ERRORS):
-        # No metalink available: nothing to fail over to.
-        raise primary_error from None
-
+    metrics.counter("failover.triggered_total").inc()
+    span = context.tracer.start(
+        "failover", url=str(primary), cause=type(primary_error).__name__
+    )
     attempts: List[Tuple[str, BaseException]] = [
         (str(primary), primary_error)
     ]
-    for replica in resolve_replicas(metalink, primary):
-        if replica.origin == primary.origin:
-            continue  # already failed there
-        if context.is_blacklisted(replica.origin):
-            continue
-        try:
-            result = yield from operation(replica)
-            context.bump("failovers")
-            return result
-        except FAILOVER_ERRORS as exc:
-            context.blacklist(replica.origin)
-            attempts.append((str(replica), exc))
 
-    raise AllReplicasFailed(primary.path, attempts)
+    try:
+        source = metalink_url or primary
+        if not isinstance(source, Url):
+            source = Url.parse(source)
+        try:
+            metalink = yield from DavFile(
+                context, source, params
+            ).get_metalink()
+        except (DavixError, MetalinkError, *FAILOVER_ERRORS):
+            # No metalink available: nothing to fail over to.
+            raise primary_error from None
+
+        for replica in resolve_replicas(metalink, primary):
+            if replica.origin == primary.origin:
+                continue  # already failed there
+            if context.is_blacklisted(replica.origin):
+                metrics.counter("failover.blacklist_skips_total").inc()
+                continue
+            metrics.counter(
+                "failover.replica_attempts_total", host=replica.host
+            ).inc()
+            try:
+                result = yield from operation(replica)
+                context.bump("failovers")
+                metrics.counter("failover.recovered_total").inc()
+                span.set(recovered_via=replica.host)
+                return result
+            except FAILOVER_ERRORS as exc:
+                context.blacklist(replica.origin)
+                attempts.append((str(replica), exc))
+
+        metrics.counter("failover.exhausted_total").inc()
+        raise AllReplicasFailed(primary.path, attempts)
+    finally:
+        span.end(attempts=len(attempts))

@@ -215,11 +215,33 @@ class DavFile:
             return []
         self.context.bump("vector_requests", len(plan.batches))
         self.context.bump("vector_fragments", len(plan.fragments))
+        metrics = self.context.metrics
+        metrics.counter("vector.round_trips_total").inc(len(plan.batches))
+        metrics.counter("vector.fragments_total").inc(len(plan.fragments))
+        metrics.counter("vector.ranges_total").inc(plan.total_ranges)
+        metrics.counter("vector.fragments_coalesced_total").inc(
+            len(plan.fragments) - plan.total_ranges
+        )
+        metrics.counter("vector.requested_bytes_total").inc(
+            plan.requested_bytes
+        )
+        metrics.counter("vector.overhead_bytes_total").inc(
+            plan.total_request_bytes - plan.requested_bytes
+        )
 
-        results: Dict[int, bytes] = {}
-        for batch in plan.batches:
-            parts = yield from self._fetch_batch(batch)
-            results.update(scatter_parts(batch, parts))
+        span = self.context.tracer.start(
+            "pread-vec",
+            url=str(self.url),
+            fragments=len(plan.fragments),
+            ranges=plan.total_ranges,
+        )
+        try:
+            results: Dict[int, bytes] = {}
+            for batch in plan.batches:
+                parts = yield from self._fetch_batch(batch)
+                results.update(scatter_parts(batch, parts))
+        finally:
+            span.end()
         return [results[i] for i in range(len(plan.fragments))]
 
     def _fetch_batch(self, batch):

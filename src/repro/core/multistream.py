@@ -108,29 +108,52 @@ def multistream_download(
     )
     assembly = bytearray(size)
     stats = [StreamStats(replica) for replica in replicas]
+    metrics = context.metrics
+    metrics.counter("multistream.downloads_total").inc()
+    metrics.counter("multistream.streams_total").inc(len(replicas))
 
     def worker(replica: Url, stat: StreamStats):
         handle = DavFile(context, replica, params)
-        while True:
-            try:
-                offset, length = queue.popleft()
-            except IndexError:
-                return  # no chunks left (popleft is atomic under threads)
-            try:
-                data = yield from handle.pread(offset, length)
-            except FAILOVER_ERRORS:
-                # Put the chunk back for the surviving streams.
-                queue.appendleft((offset, length))
-                stat.failed = True
-                context.blacklist(replica.origin)
-                return
-            if len(data) != length:
-                queue.appendleft((offset, length))
-                stat.failed = True
-                return
-            assembly[offset : offset + length] = data
-            stat.chunks += 1
-            stat.bytes += length
+        # Root span: worker streams interleave on the scheduler, so
+        # implicit stack parenting would cross-nest them.
+        span = context.tracer.start(
+            "multistream-worker", root=True, host=replica.host
+        )
+        try:
+            while True:
+                try:
+                    offset, length = queue.popleft()
+                except IndexError:
+                    return  # no chunks left (popleft is atomic under threads)
+                try:
+                    data = yield from handle.pread(offset, length)
+                except FAILOVER_ERRORS:
+                    # Put the chunk back for the surviving streams.
+                    queue.appendleft((offset, length))
+                    stat.failed = True
+                    context.blacklist(replica.origin)
+                    metrics.counter(
+                        "multistream.stream_failures_total"
+                    ).inc()
+                    return
+                if len(data) != length:
+                    queue.appendleft((offset, length))
+                    stat.failed = True
+                    metrics.counter(
+                        "multistream.stream_failures_total"
+                    ).inc()
+                    return
+                assembly[offset : offset + length] = data
+                stat.chunks += 1
+                stat.bytes += length
+                metrics.counter(
+                    "multistream.chunks_total", host=replica.host
+                ).inc()
+                metrics.counter(
+                    "multistream.bytes_total", host=replica.host
+                ).inc(length)
+        finally:
+            span.end(chunks=stat.chunks, failed=stat.failed)
 
     if size > 0:
         tasks = []

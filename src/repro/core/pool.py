@@ -7,17 +7,130 @@ idle) and *release* it afterwards; dirty or non-reusable sessions are
 discarded instead of recycled. A ``threading.Lock`` makes the dispatch
 thread-safe on the socket runtime; on the single-threaded simulator it
 is simply uncontended.
+
+Usage accounting is a frozen :class:`PoolStats` snapshot returned by
+``pool.stats()``; when a :class:`~repro.obs.MetricsRegistry` is
+attached, every event also lands there as
+``pool.acquire_total{outcome=...}`` / ``pool.release_total{outcome=...}``
+/ ``pool.evicted_total`` series. The legacy dict-style access
+(``pool.stats["hits"]``) still works through a deprecation shim.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+import warnings
+from collections import defaultdict, deque
+from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
-from collections import deque
+__all__ = ["PoolStats", "SessionPool"]
 
-__all__ = ["SessionPool"]
+#: stats-event -> (metric family, labels) mapping.
+_EVENT_METRICS = {
+    "hits": ("pool.acquire_total", {"outcome": "hit"}),
+    "misses": ("pool.acquire_total", {"outcome": "miss"}),
+    "recycled": ("pool.release_total", {"outcome": "recycled"}),
+    "discarded": ("pool.release_total", {"outcome": "discarded"}),
+    "evicted": ("pool.evicted_total", {}),
+}
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Typed snapshot of the pool's usage counters.
+
+    ``hits``/``misses`` count acquire outcomes, ``recycled``/
+    ``discarded`` count release outcomes, ``evicted`` counts idle
+    sessions dropped for age or use limits; ``idle`` is the number of
+    sessions parked at snapshot time.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    recycled: int = 0
+    discarded: int = 0
+    evicted: int = 0
+    idle: int = 0
+
+    @property
+    def acquires(self) -> int:
+        """Total acquire calls (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires served from the pool (0.0 when idle)."""
+        total = self.acquires
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The five counters as a plain dict (legacy shape)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "recycled": self.recycled,
+            "discarded": self.discarded,
+            "evicted": self.evicted,
+        }
+
+
+class _StatsAccessor:
+    """Callable/deprecation bridge behind the ``pool.stats`` attribute.
+
+    ``pool.stats()`` is the supported API and returns a frozen
+    :class:`PoolStats`. The historical dict operations
+    (``pool.stats["hits"]``, ``pool.stats == {...}``) keep working but
+    emit a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, pool: "SessionPool"):
+        self._pool = pool
+
+    def __call__(self) -> PoolStats:
+        return self._pool._snapshot()
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "dict-style SessionPool.stats access is deprecated; call "
+            "pool.stats() for a PoolStats snapshot",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> int:
+        self._warn()
+        return self._pool._counters[key]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, dict):
+            self._warn()
+            return dict(self._pool._counters) == other
+        if isinstance(other, PoolStats):
+            return self._pool._snapshot() == other
+        return NotImplemented
+
+    def __iter__(self):
+        self._warn()
+        return iter(dict(self._pool._counters))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._pool._counters
+
+    def keys(self):
+        self._warn()
+        return dict(self._pool._counters).keys()
+
+    def items(self):
+        self._warn()
+        return dict(self._pool._counters).items()
+
+    def get(self, key: str, default=None):
+        self._warn()
+        return self._pool._counters.get(key, default)
+
+    def __repr__(self) -> str:
+        return f"<pool.stats accessor {self._pool._snapshot()!r}>"
 
 
 class SessionPool:
@@ -29,6 +142,7 @@ class SessionPool:
         max_session_uses: Optional[int] = None,
         max_session_age: Optional[float] = None,
         clock=None,
+        metrics=None,
     ):
         if max_idle_per_origin < 0:
             raise ValueError("max_idle_per_origin must be >= 0")
@@ -36,15 +150,27 @@ class SessionPool:
         self.max_session_uses = max_session_uses
         self.max_session_age = max_session_age
         self._clock = clock or (lambda: 0.0)
+        #: Optional :class:`~repro.obs.MetricsRegistry` mirror.
+        self.metrics = metrics
         self._idle: Dict[Tuple, Deque] = defaultdict(deque)
         self._lock = threading.Lock()
-        self.stats = {
+        self._counters = {
             "hits": 0,
             "misses": 0,
             "recycled": 0,
             "discarded": 0,
             "evicted": 0,
         }
+        self.stats = _StatsAccessor(self)
+
+    def _record(self, event: str) -> None:
+        self._counters[event] += 1
+        if self.metrics is not None:
+            name, labels = _EVENT_METRICS[event]
+            self.metrics.counter(name, **labels).inc()
+
+    def _snapshot(self) -> PoolStats:
+        return PoolStats(idle=self._idle_total(), **self._counters)
 
     def acquire(self, origin: Tuple):
         """Pop an idle reusable session for ``origin``; None on miss."""
@@ -53,16 +179,16 @@ class SessionPool:
             while queue:
                 session = queue.pop()  # LIFO: prefer the warmest
                 if self._expired(session):
-                    self.stats["evicted"] += 1
+                    self._record("evicted")
                     session.discard()
                     continue
                 if not session.reusable:
-                    self.stats["discarded"] += 1
+                    self._record("discarded")
                     session.discard()
                     continue
-                self.stats["hits"] += 1
+                self._record("hits")
                 return session
-            self.stats["misses"] += 1
+            self._record("misses")
             return None
 
     def release(self, session) -> None:
@@ -74,12 +200,16 @@ class SessionPool:
                 or len(self._idle[session.origin])
                 >= self.max_idle_per_origin
             ):
-                self.stats["discarded"] += 1
+                self._record("discarded")
                 session.discard()
                 return
-            self.stats["recycled"] += 1
+            self._record("recycled")
             session.last_released = self._clock()
             self._idle[session.origin].append(session)
+            if self.metrics is not None:
+                self.metrics.gauge("pool.idle_sessions").set(
+                    self._idle_total()
+                )
 
     def _expired(self, session) -> bool:
         if (
@@ -93,12 +223,15 @@ class SessionPool:
                 return True
         return False
 
+    def _idle_total(self) -> int:
+        return sum(len(q) for q in self._idle.values())
+
     def idle_count(self, origin: Optional[Tuple] = None) -> int:
         """Idle sessions for one origin (or in total)."""
         with self._lock:
             if origin is not None:
                 return len(self._idle.get(origin, ()))
-            return sum(len(q) for q in self._idle.values())
+            return self._idle_total()
 
     def clear(self) -> int:
         """Discard every idle session; returns how many were dropped."""

@@ -39,11 +39,19 @@ TRANSIENT_ERRORS = (
 )
 
 
-def checkout_session(context: Context, url: Url, params: RequestParams):
+def checkout_session(
+    context: Context,
+    url: Url,
+    params: RequestParams,
+    parent_span=None,
+):
     """Effect sub-op: a session for ``url`` (pooled or freshly opened).
 
     With ``params.proxy`` set, the session targets the proxy instead:
     one pooled connection carries traffic for every origin behind it.
+    Fresh connects are timed into ``session.connect_seconds`` and
+    counted in ``session.connect_total``; pool hits/misses are recorded
+    by the pool itself.
     """
     if params.proxy is not None and url.scheme in ("http", "dav"):
         url = Url.parse(params.proxy)
@@ -52,6 +60,7 @@ def checkout_session(context: Context, url: Url, params: RequestParams):
         origin = url.origin
     session = context.pool.acquire(origin)
     if session is not None:
+        session.metrics = context.metrics
         return session
     tcp_options = params.tcp_options
     if tcp_options is None:
@@ -61,12 +70,20 @@ def checkout_session(context: Context, url: Url, params: RequestParams):
         from repro.concurrency.tlsmodel import TlsPolicy
 
         tls = params.tls if params.tls is not None else TlsPolicy()
+    started = context.clock()
     session = yield from open_session(
         origin,
         (url.host, url.port),
-        now=context.clock(),
+        now=started,
         tcp_options=tcp_options,
         tls=tls,
+        tracer=context.tracer,
+        parent=parent_span,
+        metrics=context.metrics,
+    )
+    context.metrics.counter("session.connect_total").inc()
+    context.metrics.histogram("session.connect_seconds").observe(
+        context.clock() - started
     )
     return session
 
@@ -127,63 +144,83 @@ def execute_request(
     current = url
     redirects = 0
     retries_left = params.retries
+    span = context.tracer.start(
+        "request", method=request.method, url=str(url)
+    )
 
-    while True:
-        context.bump("requests")
-        try:
-            session = yield from checkout_session(context, current, params)
-        except (ConnectError, ConnectionClosed, HttpProtocolError) as exc:
-            if retries_left > 0:
+    try:
+        while True:
+            context.bump("requests")
+            acquire_span = span.child("session-acquire")
+            try:
+                session = yield from checkout_session(
+                    context, current, params, parent_span=acquire_span
+                )
+            except (
+                ConnectError,
+                ConnectionClosed,
+                HttpProtocolError,
+            ) as exc:
+                if retries_left > 0:
+                    retries_left -= 1
+                    context.bump("retries")
+                    if params.retry_delay > 0:
+                        yield Sleep(params.retry_delay)
+                    continue
+                raise RequestError(f"connect failed: {exc}") from exc
+            finally:
+                acquire_span.end()
+
+            outgoing = _prepare(request, current, params, context)
+            exchange_span = span.child("exchange", host=current.host)
+            try:
+                response = yield from _session_exchange(
+                    session, outgoing, params, sink_factory, exchange_span
+                )
+            except StaleSession:
+                # The request never reached the application: always retry.
+                context.bump("retries")
+                context.metrics.counter("session.stale_total").inc()
+                session.discard()
+                continue
+            except TRANSIENT_ERRORS as exc:
+                session.discard()
+                if retries_left > 0:
+                    retries_left -= 1
+                    context.bump("retries")
+                    if params.retry_delay > 0:
+                        yield Sleep(params.retry_delay)
+                    continue
+                raise RequestError(str(exc)) from exc
+            finally:
+                exchange_span.end()
+
+            if (
+                params.follow_redirects
+                and is_redirect(response.status)
+                and response.headers.get("Location")
+            ):
+                context.pool.release(session)
+                redirects += 1
+                context.bump("redirects_followed")
+                if redirects > params.max_redirects:
+                    raise RedirectLoopError(str(url), params.max_redirects)
+                current = current.resolve(response.headers.get("Location"))
+                continue
+
+            if is_retriable(response.status) and retries_left > 0:
+                context.pool.release(session)
                 retries_left -= 1
                 context.bump("retries")
                 if params.retry_delay > 0:
                     yield Sleep(params.retry_delay)
                 continue
-            raise RequestError(f"connect failed: {exc}") from exc
 
-        outgoing = _prepare(request, current, params, context)
-        try:
-            response = yield from _session_exchange(
-                session, outgoing, params, sink_factory
-            )
-        except StaleSession:
-            # The request never reached the application: always retry.
-            context.bump("retries")
-            session.discard()
-            continue
-        except TRANSIENT_ERRORS as exc:
-            session.discard()
-            if retries_left > 0:
-                retries_left -= 1
-                context.bump("retries")
-                if params.retry_delay > 0:
-                    yield Sleep(params.retry_delay)
-                continue
-            raise RequestError(str(exc)) from exc
-
-        if (
-            params.follow_redirects
-            and is_redirect(response.status)
-            and response.headers.get("Location")
-        ):
             context.pool.release(session)
-            redirects += 1
-            context.bump("redirects_followed")
-            if redirects > params.max_redirects:
-                raise RedirectLoopError(str(url), params.max_redirects)
-            current = current.resolve(response.headers.get("Location"))
-            continue
-
-        if is_retriable(response.status) and retries_left > 0:
-            context.pool.release(session)
-            retries_left -= 1
-            context.bump("retries")
-            if params.retry_delay > 0:
-                yield Sleep(params.retry_delay)
-            continue
-
-        context.pool.release(session)
-        return response, current
+            span.set(status=response.status)
+            return response, current
+    finally:
+        span.end()
 
 
 def _session_exchange(
@@ -191,16 +228,18 @@ def _session_exchange(
     request: Request,
     params: RequestParams,
     sink_factory,
+    span=None,
 ):
     """One exchange on one session, with late sink selection."""
     if sink_factory is None:
         response = yield from session.request(
-            request, timeout=params.operation_timeout
+            request, timeout=params.operation_timeout, span=span
         )
         return response
     response = yield from session.request(
         request,
         sink_factory=sink_factory,
         timeout=params.operation_timeout,
+        span=span,
     )
     return response

@@ -6,6 +6,13 @@ same code runs on the simulator and on sockets) and recycled through the
 know whether it is safe to reuse: a half-read body, a parse error or a
 ``Connection: close`` makes it *dirty* and it will be discarded instead
 of recycled.
+
+Observability: with a :class:`~repro.obs.MetricsRegistry` attached the
+wire totals land in ``session.bytes_sent_total`` /
+``session.bytes_received_total``; :func:`open_session` wraps the
+connect and TLS handshake in ``tcp-connect`` / ``tls-handshake`` spans,
+and :meth:`Session.request` hangs ``send`` / ``recv`` spans off the
+span it is given.
 """
 
 from __future__ import annotations
@@ -46,11 +53,14 @@ class Session:
         origin: Tuple,
         created_at: float,
         tls: Optional[TlsPolicy] = None,
+        metrics=None,
     ):
         self.channel = channel
         self.origin = origin
         #: TLS record-layer cost model (None for plain http).
         self.tls = tls
+        #: Optional :class:`~repro.obs.MetricsRegistry` for byte totals.
+        self.metrics = metrics
         self.created_at = created_at
         self.last_released = created_at
         self.requests_sent = 0
@@ -85,6 +95,7 @@ class Session:
         sink: Optional[Callable[[bytes], None]] = None,
         sink_factory=None,
         timeout: Optional[float] = None,
+        span=None,
     ):
         """Effect sub-op: send ``request``, read the full response.
 
@@ -93,6 +104,8 @@ class Session:
         GETs). ``sink_factory`` decides *after the head arrives* whether
         to stream (it receives the head and returns a sink or ``None``)
         — needed so redirect/error bodies are buffered, not streamed.
+        ``span`` (when given) becomes the parent of ``send``/``recv``
+        child spans covering the two wire phases.
         Raises :class:`StaleSession` when a *reused* connection turns
         out dead before the status line arrives.
         """
@@ -102,6 +115,9 @@ class Session:
         reused = self.requests_sent > 0
         self.requests_sent += 1
         self.bytes_sent += len(wire)
+        if self.metrics is not None:
+            self.metrics.counter("session.bytes_sent_total").inc(len(wire))
+        send_span = span.child("send", bytes=len(wire)) if span else None
         try:
             if self.tls is not None:
                 yield Sleep(self.tls.record_cost(len(wire)))
@@ -111,42 +127,56 @@ class Session:
             if reused:
                 raise StaleSession(str(exc)) from exc
             raise
+        finally:
+            if send_span:
+                send_span.end()
 
+        recv_span = span.child("recv") if span else None
+        received = 0
         head: Optional[Response] = None
         body = bytearray()
-        while True:
-            event = parser.next_event()
-            if event == NEED_DATA:
-                try:
-                    data = yield Recv(self.channel, timeout=timeout)
-                except ConnectionClosed as exc:
+        try:
+            while True:
+                event = parser.next_event()
+                if event == NEED_DATA:
+                    try:
+                        data = yield Recv(self.channel, timeout=timeout)
+                    except ConnectionClosed as exc:
+                        self.mark_dirty()
+                        if reused and head is None:
+                            raise StaleSession(str(exc)) from exc
+                        raise
+                    self.bytes_received += len(data)
+                    received += len(data)
+                    if self.tls is not None and data:
+                        yield Sleep(self.tls.record_cost(len(data)))
+                    parser.receive_data(data)
+                    continue
+                if event == CONNECTION_CLOSED:
                     self.mark_dirty()
                     if reused and head is None:
-                        raise StaleSession(str(exc)) from exc
-                    raise
-                self.bytes_received += len(data)
-                if self.tls is not None and data:
-                    yield Sleep(self.tls.record_cost(len(data)))
-                parser.receive_data(data)
-                continue
-            if event == CONNECTION_CLOSED:
-                self.mark_dirty()
-                if reused and head is None:
-                    raise StaleSession("connection closed by peer")
-                raise ConnectionClosed(
-                    f"{self.host}: closed before a response"
-                )
-            if isinstance(event, Response):
-                head = event
-                if sink_factory is not None:
-                    sink = sink_factory(head)
-            elif isinstance(event, Data):
-                if sink is not None:
-                    sink(event.data)
-                else:
-                    body.extend(event.data)
-            elif isinstance(event, EndOfMessage):
-                break
+                        raise StaleSession("connection closed by peer")
+                    raise ConnectionClosed(
+                        f"{self.host}: closed before a response"
+                    )
+                if isinstance(event, Response):
+                    head = event
+                    if sink_factory is not None:
+                        sink = sink_factory(head)
+                elif isinstance(event, Data):
+                    if sink is not None:
+                        sink(event.data)
+                    else:
+                        body.extend(event.data)
+                elif isinstance(event, EndOfMessage):
+                    break
+        finally:
+            if self.metrics is not None and received:
+                self.metrics.counter(
+                    "session.bytes_received_total"
+                ).inc(received)
+            if recv_span:
+                recv_span.end(bytes=received)
 
         assert head is not None
         head.body = bytes(body)
@@ -161,9 +191,37 @@ def open_session(
     now: float,
     tcp_options=None,
     tls: Optional[TlsPolicy] = None,
+    tracer=None,
+    parent=None,
+    metrics=None,
 ):
-    """Effect sub-op: connect (and TLS-handshake) into a Session."""
-    channel = yield Connect(endpoint, tcp_options)
+    """Effect sub-op: connect (and TLS-handshake) into a Session.
+
+    With a ``tracer``, the TCP connect and the TLS handshake each get
+    their own span under ``parent`` — the two setup costs the paper's
+    keep-alive argument is about.
+    """
+    span = (
+        tracer.start("tcp-connect", parent=parent)
+        if tracer is not None
+        else None
+    )
+    try:
+        channel = yield Connect(endpoint, tcp_options)
+    finally:
+        if span:
+            span.end()
     if tls is not None:
-        yield from client_handshake(channel, tls)
-    return Session(channel, url_origin, created_at=now, tls=tls)
+        handshake_span = (
+            tracer.start("tls-handshake", parent=parent)
+            if tracer is not None
+            else None
+        )
+        try:
+            yield from client_handshake(channel, tls)
+        finally:
+            if handshake_span:
+                handshake_span.end()
+    return Session(
+        channel, url_origin, created_at=now, tls=tls, metrics=metrics
+    )

@@ -1,0 +1,40 @@
+"""Observability layer: metrics registry, request tracing, exporters.
+
+The composition point is :class:`~repro.core.context.Context` — it owns
+one :class:`MetricsRegistry` and one :class:`Tracer` and every layer on
+the request path (pool, session, vectored I/O, failover, multistream)
+records into them; the server side (:class:`~repro.server.handlers.
+StorageApp`, :class:`~repro.server.accesslog.AccessLog`) accepts a
+registry of its own so both ends of a simulated run are visible.
+See ``docs/OBSERVABILITY.md`` for the metric names and span hierarchy.
+"""
+
+from repro.obs.export import (
+    metrics_to_json_lines,
+    render_metrics,
+    render_span_tree,
+    spans_to_json_lines,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "render_metrics",
+    "metrics_to_json_lines",
+    "render_span_tree",
+    "spans_to_json_lines",
+]

@@ -1,0 +1,281 @@
+"""Metric instruments and the registry that owns them.
+
+The paper's evaluation is entirely about *where time goes* (connection
+setup, range round trips, replica recovery), so every layer of the
+client and server records into a shared :class:`MetricsRegistry`:
+
+* :class:`Counter` — monotonically increasing totals
+  (``pool.acquire_total``, ``session.connect_total``);
+* :class:`Gauge` — point-in-time values (``pool.idle_sessions``);
+* :class:`Histogram` — distributions with bucketed counts and exact
+  percentiles over a bounded sample (``session.connect_seconds``).
+
+Each instrument *family* is keyed by name and fans out into labeled
+series (``pool.acquire_total{outcome=hit}`` vs ``{outcome=miss}``), the
+Prometheus data model in miniature. Registries are cheap dictionaries —
+safe to create per-:class:`~repro.core.context.Context` and to leave
+always-on in benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Cap on the exact-sample reservoir a histogram keeps for percentiles.
+_SAMPLE_CAP = 4096
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total for one labeled series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {format_series(self.name, self.labels)}={self._value}>"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {format_series(self.name, self.labels)}={self._value}>"
+
+
+class Histogram:
+    """A distribution: bucketed counts plus an exact bounded sample.
+
+    Buckets follow the Prometheus convention — each bound counts
+    observations ``<= bound`` with an implicit ``+Inf`` bucket at the
+    end. Percentiles are exact while fewer than the sample cap (4096)
+    values have been observed, then computed over the retained sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if len(self._sample) < _SAMPLE_CAP:
+            self._sample.append(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """q-th percentile (q in [0, 1]) over the retained sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._sample:
+            return None
+        ordered = sorted(self._sample)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram {format_series(self.name, self.labels)} "
+            f"count={self.count} sum={self.sum:.6g}>"
+        )
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def format_series(name: str, labels: LabelKey) -> str:
+    """Render ``name{k=v,...}`` for one labeled series."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Owns every instrument family; the per-Context composition point.
+
+    ``registry.counter("pool.acquire_total", outcome="hit").inc()``
+    creates the family and the labeled series on first use and returns
+    the same instrument afterwards. Registering the same name with a
+    different instrument kind raises — a name means one thing.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: name -> (kind, {label_key -> instrument})
+        self._families: Dict[str, Tuple[str, Dict[LabelKey, object]]] = {}
+
+    # -- instrument accessors -------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._series("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge series ``name{labels}`` (created on first use)."""
+        return self._series("gauge", name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        """The histogram series ``name{labels}`` (created on first use)."""
+        return self._series("histogram", name, labels, buckets=buckets)
+
+    def _series(self, kind, name, labels, buckets=None):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family[0]}, not a {kind}"
+                )
+            series = family[1].get(key)
+            if series is None:
+                if kind == "histogram":
+                    series = Histogram(
+                        name, key, buckets=buckets or DEFAULT_BUCKETS
+                    )
+                else:
+                    series = _KINDS[kind](name, key)
+                family[1][key] = series
+            return series
+
+    # -- read side ------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Current value of a counter/gauge series; None if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        series = family[1].get(_label_key(labels))
+        if series is None or not hasattr(series, "value"):
+            return None
+        return series.value
+
+    def get(self, name: str, **labels):
+        """The instrument for ``name{labels}``; None if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family[1].get(_label_key(labels))
+
+    def series(self) -> Iterator[object]:
+        """Every instrument, sorted by name then label key."""
+        for name in sorted(self._families):
+            _, by_label = self._families[name]
+            for key in sorted(by_label):
+                yield by_label[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """``series-string -> value`` (histograms map to (count, sum))."""
+        out: Dict[str, object] = {}
+        for instrument in self.series():
+            key = format_series(instrument.name, instrument.labels)
+            if instrument.kind == "histogram":
+                out[key] = (instrument.count, instrument.sum)
+            else:
+                out[key] = instrument.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every family (used between benchmark cases)."""
+        with self._lock:
+            self._families.clear()
+
+    def __len__(self) -> int:
+        return sum(len(f[1]) for f in self._families.values())

@@ -4,7 +4,11 @@ Grid operations live on access logs (HammerCloud itself mines them).
 The log is a bounded ring buffer of structured entries with an
 Apache-common-log-format renderer, plus simple aggregations the
 benchmarks and operators want (per-method counts, byte totals,
-latency percentiles).
+latency percentiles). With a :class:`~repro.obs.MetricsRegistry`
+attached, every entry also feeds the server-side metric series
+(``server.access_total{method=,status=}``, ``server.bytes_sent_total``,
+``server.request_seconds``) so both ends of a run are visible in one
+format.
 """
 
 from __future__ import annotations
@@ -40,10 +44,12 @@ class AccessEntry:
 class AccessLog:
     """Bounded request log with aggregation helpers."""
 
-    def __init__(self, capacity: int = 10_000):
+    def __init__(self, capacity: int = 10_000, metrics=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        #: Optional :class:`~repro.obs.MetricsRegistry` mirror.
+        self.metrics = metrics
         self._entries: Deque[AccessEntry] = deque(maxlen=capacity)
         self.total_requests = 0
         self.total_bytes = 0
@@ -52,6 +58,18 @@ class AccessLog:
         self._entries.append(entry)
         self.total_requests += 1
         self.total_bytes += entry.bytes_sent
+        if self.metrics is not None:
+            self.metrics.counter(
+                "server.access_total",
+                method=entry.method,
+                status=str(entry.status),
+            ).inc()
+            self.metrics.counter("server.bytes_sent_total").inc(
+                entry.bytes_sent
+            )
+            self.metrics.histogram("server.request_seconds").observe(
+                entry.duration
+            )
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -94,12 +94,17 @@ class StorageApp:
         config: Optional[ServerConfig] = None,
         replicas: Optional[Dict[str, List[str]]] = None,
         faults: Optional[FaultPolicy] = None,
+        metrics=None,
     ):
         self.store = store
         self.config = config or ServerConfig()
         #: path -> replica URLs advertised via Metalink.
         self.replicas = replicas if replicas is not None else {}
         self.faults = faults
+        #: Optional :class:`~repro.obs.MetricsRegistry`: per-method and
+        #: per-status request counts land here alongside the legacy
+        #: ``requests_by_method`` dict.
+        self.metrics = metrics
         self.requests_handled = 0
         self.requests_by_method: Dict[str, int] = {}
         #: davix context for third-party-copy pulls (lazy).
@@ -115,6 +120,10 @@ class StorageApp:
         self.requests_by_method[request.method] = (
             self.requests_by_method.get(request.method, 0) + 1
         )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "server.requests_total", method=request.method
+            ).inc()
 
         fault = (
             self.faults.next_action(request.path) if self.faults else None
@@ -149,6 +158,11 @@ class StorageApp:
     def _finish(self, request, served) -> ServedResponse:
         if not isinstance(served, ServedResponse):
             served = ServedResponse(served)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "server.responses_total",
+                status=str(served.response.status),
+            ).inc()
         served.response.headers.setdefault(
             "Server", self.config.server_name
         )

@@ -1,0 +1,104 @@
+"""Golden-output tests for the exporters.
+
+The JSON-lines format is a contract with downstream tooling: sorted by
+series, sorted keys inside each object, integral floats emitted as
+ints. These tests pin the exact bytes.
+"""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_to_json_lines,
+    render_metrics,
+    render_span_tree,
+    spans_to_json_lines,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("pool.acquire_total", outcome="hit").inc(4)
+    registry.counter("pool.acquire_total", outcome="miss").inc()
+    registry.gauge("pool.idle_sessions").set(1)
+    histogram = registry.histogram(
+        "session.connect_seconds", buckets=(0.01, 0.1, 1.0)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    return registry
+
+
+GOLDEN_METRIC_LINES = "\n".join(
+    [
+        '{"labels": {"outcome": "hit"}, "name": "pool.acquire_total", '
+        '"type": "counter", "value": 4}',
+        '{"labels": {"outcome": "miss"}, "name": "pool.acquire_total", '
+        '"type": "counter", "value": 1}',
+        '{"labels": {}, "name": "pool.idle_sessions", "type": "gauge", '
+        '"value": 1}',
+        '{"buckets": {"0.1": 1, "1": 1}, "count": 2, "labels": {}, '
+        '"max": 0.5, "min": 0.05, "name": "session.connect_seconds", '
+        '"sum": 0.55, "type": "histogram"}',
+    ]
+)
+
+
+def test_metrics_json_lines_golden():
+    assert metrics_to_json_lines(_sample_registry()) == GOLDEN_METRIC_LINES
+
+
+def test_metrics_json_lines_parse_back():
+    records = [
+        json.loads(line)
+        for line in metrics_to_json_lines(_sample_registry()).splitlines()
+    ]
+    assert len(records) == 4
+    assert {r["type"] for r in records} == {"counter", "gauge", "histogram"}
+    # Counters export as ints, never 4.0.
+    assert all(
+        isinstance(r["value"], int) for r in records if "value" in r
+    )
+
+
+def test_render_metrics_table():
+    rendered = render_metrics(_sample_registry(), title="demo")
+    lines = rendered.splitlines()
+    assert lines[0] == "demo:"
+    assert "pool.acquire_total{outcome=hit}" in rendered
+    assert "count=2" in rendered
+    assert render_metrics(MetricsRegistry()) == "metrics: (empty)"
+
+
+def _sample_tracer() -> Tracer:
+    clock = iter([0.0, 1.0, 2.0, 3.0]).__next__
+    tracer = Tracer(clock=clock)
+    request = tracer.start("request", method="GET")
+    send = request.child("send", bytes=10)
+    send.end()
+    request.end(status=200)
+    return tracer
+
+
+GOLDEN_SPAN_LINES = "\n".join(
+    [
+        '{"attrs": {"bytes": "10"}, "end": 2, "name": "send", '
+        '"parent": 1, "span": 2, "start": 1, "trace": 1, "type": "span"}',
+        '{"attrs": {"method": "GET", "status": "200"}, "end": 3, '
+        '"name": "request", "parent": null, "span": 1, "start": 0, '
+        '"trace": 1, "type": "span"}',
+    ]
+)
+
+
+def test_spans_json_lines_golden():
+    assert spans_to_json_lines(_sample_tracer()) == GOLDEN_SPAN_LINES
+
+
+def test_render_span_tree_nests_children():
+    rendered = render_span_tree(_sample_tracer())
+    lines = rendered.splitlines()
+    assert lines[0].startswith("request 3.000000s")
+    assert lines[1].startswith("  send 1.000000s")
+    assert render_span_tree(Tracer()) == "trace: (empty)"

@@ -1,0 +1,137 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic span timings."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_span_nesting_via_child():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    parent = tracer.start("request")
+    clock.now = 1.0
+    child = parent.child("send", bytes=42)
+    clock.now = 1.5
+    child.end()
+    clock.now = 2.0
+    parent.end()
+
+    assert child.parent_id == parent.span_id
+    assert child.trace_id == parent.trace_id
+    assert child.attrs == {"bytes": 42}
+    assert child.duration == pytest.approx(0.5)
+    assert parent.duration == pytest.approx(2.0)
+    # Finished in end order: child first.
+    assert [s.name for s in tracer.finished()] == ["send", "request"]
+
+
+def test_implicit_parent_is_stack_top():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        assert tracer.current is outer
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+    assert tracer.current is None
+
+
+def test_root_span_starts_a_new_trace():
+    tracer = Tracer()
+    outer = tracer.start("outer")
+    root = tracer.start("worker", root=True)
+    assert root.parent_id is None
+    assert root.trace_id != outer.trace_id
+    root.end()
+    outer.end()
+
+
+def test_explicit_parent_overrides_stack():
+    tracer = Tracer()
+    a = tracer.start("a")
+    b = tracer.start("b")
+    c = tracer.start("c", parent=a)
+    assert c.parent_id == a.span_id
+    for span in (c, b, a):
+        span.end()
+
+
+def test_end_is_idempotent():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    span = tracer.start("once")
+    clock.now = 1.0
+    span.end()
+    clock.now = 2.0
+    span.end()
+    assert span.end_time == 1.0
+    assert len(tracer) == 1
+
+
+def test_end_attaches_attrs():
+    tracer = Tracer()
+    span = tracer.start("s")
+    span.end(status=200)
+    assert span.attrs["status"] == 200
+
+
+def test_context_manager_records_error_type():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    (span,) = tracer.finished()
+    assert span.attrs["error"] == "RuntimeError"
+    assert span.ended
+
+
+def test_span_ids_are_unique_and_increasing():
+    tracer = Tracer()
+    spans = [tracer.start(f"s{i}") for i in range(5)]
+    ids = [span.span_id for span in spans]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_capacity_bounds_finished_ring():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.start(f"s{i}").end()
+    assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_disabled_tracer_returns_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.start("anything")
+    assert span is NULL_SPAN
+    # The null span absorbs the whole API without recording.
+    with span.child("x").set(a=1) as child:
+        child.end()
+    assert len(tracer) == 0
+
+
+def test_null_span_never_parents_a_real_span():
+    tracer = Tracer()
+    span = tracer.start("real", parent=NULL_SPAN)
+    assert span.parent_id is None
+    span.end()
+
+
+def test_by_name_and_clear():
+    tracer = Tracer()
+    tracer.start("a").end()
+    tracer.start("b").end()
+    tracer.start("a").end()
+    assert len(tracer.by_name("a")) == 2
+    tracer.clear()
+    assert len(tracer) == 0
