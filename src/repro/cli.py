@@ -23,7 +23,7 @@ import time
 from typing import List, Optional
 
 from repro.concurrency import ThreadRuntime
-from repro.core import DavixClient, RequestParams
+from repro.core import BreakerConfig, DavixClient, RequestParams, RetryPolicy
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -45,6 +45,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--proxy",
         metavar="URL",
         help="forward proxy for plain-http traffic (e.g. a site cache)",
+    )
+    resilience = parser.add_argument_group(
+        "resilience",
+        "retry/backoff, deadline and circuit-breaker knobs "
+        "(overrides --retries when --max-attempts is given)",
+    )
+    resilience.add_argument(
+        "--max-attempts",
+        type=int,
+        metavar="N",
+        help="total tries per request (first attempt + retries)",
+    )
+    resilience.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="backoff base delay in seconds (default: 0.05)",
+    )
+    resilience.add_argument(
+        "--retry-max-delay",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="backoff delay cap in seconds (default: 5)",
+    )
+    resilience.add_argument(
+        "--retry-jitter",
+        choices=("decorrelated", "none"),
+        default="decorrelated",
+        help="backoff jitter mode (default: decorrelated)",
+    )
+    resilience.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the backoff jitter RNG (default: 0)",
+    )
+    resilience.add_argument(
+        "--deadline",
+        type=float,
+        metavar="S",
+        help="whole-operation time budget in seconds (retries included)",
+    )
+    resilience.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failures that open an endpoint's circuit "
+        "(default: 5)",
+    )
+    resilience.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds an open circuit waits before a half-open probe "
+        "(default: 30)",
+    )
+    resilience.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="disable per-endpoint circuit breaking",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -129,12 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _client(args) -> DavixClient:
+    retry_policy = None
+    if getattr(args, "max_attempts", None) is not None:
+        retry_policy = RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay=args.retry_base,
+            max_delay=args.retry_max_delay,
+            jitter=args.retry_jitter,
+            seed=args.retry_seed,
+        )
     params = RequestParams(
         retries=args.retries,
         operation_timeout=args.timeout,
         proxy=getattr(args, "proxy", None),
+        retry_policy=retry_policy,
+        deadline=getattr(args, "deadline", None),
+        breaker_enabled=not getattr(args, "no_breaker", False),
     )
-    return DavixClient(ThreadRuntime(), params=params)
+    breaker = BreakerConfig(
+        threshold=getattr(args, "breaker_threshold", 5),
+        cooldown=getattr(args, "breaker_cooldown", 30.0),
+    )
+    return DavixClient(ThreadRuntime(), params=params, breaker=breaker)
 
 
 def cmd_get(args, out=sys.stdout) -> int:

@@ -29,8 +29,18 @@ from repro.core.vectored import (
     CoalescedRange,
     Fragment,
     VectorPlan,
+    missing_ranges,
     plan_vector,
     scatter_parts,
+)
+from repro.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    RetrySchedule,
 )
 
 __all__ = [
@@ -59,4 +69,12 @@ __all__ = [
     "VectorPlan",
     "plan_vector",
     "scatter_parts",
+    "missing_ranges",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "RetrySchedule",
 ]

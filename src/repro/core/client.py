@@ -29,6 +29,7 @@ from repro.core.pool import PoolStats
 from repro.core.posix import DavPosix
 from repro.metalink import Metalink
 from repro.obs import MetricsRegistry, Span, Tracer
+from repro.resilience import BreakerBoard, BreakerConfig
 
 __all__ = ["DavixClient"]
 
@@ -52,17 +53,18 @@ class DavixClient:
         params: Optional[RequestParams] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        breaker: Optional[BreakerConfig] = None,
     ):
         if context is not None and (
-            metrics is not None or tracer is not None
+            metrics is not None or tracer is not None or breaker is not None
         ):
             raise ValueError(
-                "pass metrics/tracer either to the Context or to the "
-                "client, not both"
+                "pass metrics/tracer/breaker either to the Context or "
+                "to the client, not both"
             )
         self.runtime = runtime
         self.context = context or Context(
-            params=params, metrics=metrics, tracer=tracer
+            params=params, metrics=metrics, tracer=tracer, breaker=breaker
         )
         # The blacklist and session-age logic need the runtime's clock
         # (the tracer follows through context._now).
@@ -82,6 +84,10 @@ class DavixClient:
     def pool_stats(self) -> PoolStats:
         """Typed snapshot of the session pool's usage counters."""
         return self.context.pool.stats()
+
+    def breakers(self) -> BreakerBoard:
+        """The per-endpoint circuit-breaker board this client consults."""
+        return self.context.breakers
 
     def span(self, name: str, **attrs) -> Span:
         """Start an application-level span (context manager) so client

@@ -15,12 +15,14 @@ sessions, vectored I/O, failover) — see ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.core.pool import SessionPool
 from repro.net.tcp import TcpOptions
 from repro.obs import MetricsRegistry, Tracer
+from repro.resilience import BreakerBoard, BreakerConfig, RetryPolicy
 
 __all__ = ["MetalinkMode", "RequestParams", "Context"]
 
@@ -55,6 +57,19 @@ class RequestParams:
     #: Extra attempts on transient failures (5xx, stale connections).
     retries: int = 1
     retry_delay: float = 0.0
+
+    # -- resilience (retry/backoff, deadline, breaker) ------------------------
+    #: Full backoff policy; when set it supersedes the legacy
+    #: ``retries``/``retry_delay`` pair.
+    retry_policy: Optional[RetryPolicy] = None
+    #: Total wall-time budget for one logical operation (seconds),
+    #: covering every retry, redirect and byte read. None = unbounded.
+    deadline: Optional[float] = None
+    #: Consult the context's per-endpoint circuit breakers.
+    breaker_enabled: bool = True
+    #: Retry a request whose method is non-idempotent even when it may
+    #: already have reached the server (default: never).
+    retry_non_idempotent: bool = False
 
     # -- vectored I/O (Section 2.3) -------------------------------------------
     #: Maximum range-specs packed into one multi-range request.
@@ -101,6 +116,26 @@ class RequestParams:
             raise ValueError("vector_gap must be >= 0")
         if self.multistream_chunk < 1 or self.multistream_max_streams < 1:
             raise ValueError("multistream settings must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
+
+    def effective_retry_policy(self) -> RetryPolicy:
+        """The operative :class:`~repro.resilience.RetryPolicy`.
+
+        ``retry_policy`` when set; otherwise the legacy
+        ``retries``/``retry_delay`` pair expressed as a fixed-delay,
+        jitter-free policy — so old configurations behave bit-for-bit
+        as before.
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy(
+            max_attempts=self.retries + 1,
+            base_delay=self.retry_delay,
+            max_delay=max(self.retry_delay, 1.0),
+            multiplier=1.0,
+            jitter="none",
+        )
 
     def replace(self, **changes) -> "RequestParams":
         """A copy with the given fields replaced (the uniform override
@@ -113,7 +148,7 @@ class RequestParams:
 
 
 class Context:
-    """Shared davix state: pool, blacklist, metrics and tracer.
+    """Shared davix state: pool, blacklist, breakers, metrics, tracer.
 
     One Context per client host; cheap to create, intended to be
     long-lived so the pool's recycled sessions accumulate (the paper's
@@ -129,6 +164,7 @@ class Context:
         clock=None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        breaker: Optional[BreakerConfig] = None,
     ):
         self.params = params or RequestParams()
         #: Injected time source (simulated or monotonic); settable so
@@ -146,6 +182,18 @@ class Context:
             clock=self._now,
             metrics=self.metrics,
         )
+        #: Per-endpoint circuit breakers; opening one drops the
+        #: endpoint's idle pooled sessions along with it.
+        self.breakers = BreakerBoard(
+            config=breaker,
+            clock=self._now,
+            metrics=self.metrics,
+            on_open=self.pool.purge_origin,
+        )
+        #: policy seed -> shared RNG stream for backoff jitter, so
+        #: repeated runs on a deterministic clock replay identical
+        #: delay sequences across all requests.
+        self._retry_rngs: Dict[int, random.Random] = {}
         #: origin -> expiry time of the blacklist entry.
         self._blacklist: Dict[Tuple, float] = {}
         self.counters: Dict[str, int] = {
@@ -159,6 +207,14 @@ class Context:
 
     def _now(self) -> float:
         return self.clock()
+
+    def retry_rng(self, policy: RetryPolicy) -> random.Random:
+        """The shared jitter RNG for ``policy`` (one stream per seed)."""
+        rng = self._retry_rngs.get(policy.seed)
+        if rng is None:
+            rng = random.Random(policy.seed)
+            self._retry_rngs[policy.seed] = rng
+        return rng
 
     # -- blacklist (failed replicas) ----------------------------------------
 

@@ -18,6 +18,7 @@ from repro.errors import (
     ConnectError,
     ConnectionClosed,
     DavixError,
+    DeadlineExceeded,
     FileNotFound,
     MetalinkError,
     RequestError,
@@ -72,6 +73,10 @@ def with_failover(
     try:
         result = yield from operation(primary)
         return result
+    except DeadlineExceeded:
+        # A blown time budget is final: trying more replicas can only
+        # blow it further.
+        raise
     except FAILOVER_ERRORS as exc:
         primary_error = exc
 
@@ -104,6 +109,15 @@ def with_failover(
             if context.is_blacklisted(replica.origin):
                 metrics.counter("failover.blacklist_skips_total").inc()
                 continue
+            if (
+                params.breaker_enabled
+                and context.breakers.is_blocked(replica.origin)
+            ):
+                # Known-dead endpoint: skip it without paying the
+                # connect + retry/backoff cost an attempt would incur.
+                metrics.counter("failover.breaker_skips_total").inc()
+                attempts.append((str(replica), "circuit open"))
+                continue
             metrics.counter(
                 "failover.replica_attempts_total", host=replica.host
             ).inc()
@@ -113,6 +127,8 @@ def with_failover(
                 metrics.counter("failover.recovered_total").inc()
                 span.set(recovered_via=replica.host)
                 return result
+            except DeadlineExceeded:
+                raise
             except FAILOVER_ERRORS as exc:
                 context.blacklist(replica.origin)
                 attempts.append((str(replica), exc))

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.context import Context, RequestParams
 from repro.core.request import execute_request
-from repro.core.vectored import plan_vector, scatter_parts
+from repro.core.vectored import missing_ranges, plan_vector, scatter_parts
 from repro.errors import (
     FileNotFound,
     HttpParseError,
@@ -225,8 +225,10 @@ class DavFile:
         metrics.counter("vector.requested_bytes_total").inc(
             plan.requested_bytes
         )
+        # Overlapping fragments can make the merged ranges smaller than
+        # the sum of requests; only true gap overhead is counted.
         metrics.counter("vector.overhead_bytes_total").inc(
-            plan.total_request_bytes - plan.requested_bytes
+            max(0, plan.total_request_bytes - plan.requested_bytes)
         )
 
         span = self.context.tracer.start(
@@ -238,11 +240,36 @@ class DavFile:
         try:
             results: Dict[int, bytes] = {}
             for batch in plan.batches:
-                parts = yield from self._fetch_batch(batch)
+                parts = yield from self._fetch_batch_covered(batch)
                 results.update(scatter_parts(batch, parts))
         finally:
             span.end()
         return [results[i] for i in range(len(plan.fragments))]
+
+    def _fetch_batch_covered(self, batch):
+        """Fetch one batch, re-requesting any ranges the response left
+        uncovered (a reset mid-multipart-body, a server honouring only
+        some ranges). Multi-range GETs are idempotent, so the refetch
+        is always retry-safe; rounds are bounded by the retry policy's
+        attempt budget.
+        """
+        parts = yield from self._fetch_batch(batch)
+        rounds = self.params.effective_retry_policy().max_attempts - 1
+        missing = missing_ranges(batch, parts)
+        while missing and rounds > 0:
+            rounds -= 1
+            self.context.metrics.counter(
+                "vector.refetch_batches_total"
+            ).inc()
+            self.context.metrics.counter(
+                "vector.refetch_ranges_total"
+            ).inc(len(missing))
+            more = yield from self._fetch_batch(missing)
+            parts.update(more)
+            missing = missing_ranges(batch, parts)
+        # Still-missing ranges surface through scatter_parts, which
+        # raises the caller-facing RequestError.
+        return parts
 
     def _fetch_batch(self, batch):
         """One multi-range request -> {part_offset: bytes}."""
@@ -253,7 +280,8 @@ class DavFile:
         headers = Headers([("Range", format_range_header(specs))])
         request = Request("GET", self.url.target, headers)
         response, _ = yield from execute_request(
-            self.context, self.url, request, self.params
+            self.context, self.url, request, self.params,
+            idempotent=True,
         )
         raise_for_status(response, self.url.path)
 

@@ -92,11 +92,20 @@ def multistream_download(
         )
     size = entry.size
     replicas = resolve_replicas(metalink, primary)
-    replicas = [
+    skipped = [
         replica
         for replica in replicas
-        if not context.is_blacklisted(replica.origin)
+        if context.is_blacklisted(replica.origin)
+        or (
+            params.breaker_enabled
+            and context.breakers.is_blocked(replica.origin)
+        )
     ]
+    if skipped:
+        context.metrics.counter("multistream.replica_skips_total").inc(
+            len(skipped)
+        )
+    replicas = [r for r in replicas if r not in skipped]
     if not replicas:
         raise AllReplicasFailed(primary.path, [])
     replicas = replicas[: params.multistream_max_streams]

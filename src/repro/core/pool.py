@@ -233,6 +233,29 @@ class SessionPool:
                 return len(self._idle.get(origin, ()))
             return self._idle_total()
 
+    def purge_origin(self, origin: Tuple) -> int:
+        """Discard every idle session for one origin (counted evicted).
+
+        Called by the :class:`~repro.resilience.BreakerBoard` when an
+        endpoint's circuit opens: warm connections to a host that just
+        failed ``threshold`` times in a row are more likely half-dead
+        than warm, so they are dropped with the breaker.
+        """
+        with self._lock:
+            queue = self._idle.pop(origin, None)
+            if not queue:
+                return 0
+            dropped = 0
+            while queue:
+                queue.pop().discard()
+                self._record("evicted")
+                dropped += 1
+            if self.metrics is not None:
+                self.metrics.gauge("pool.idle_sessions").set(
+                    self._idle_total()
+                )
+            return dropped
+
     def clear(self) -> int:
         """Discard every idle session; returns how many were dropped."""
         with self._lock:

@@ -4,20 +4,42 @@
 through. It acquires a session from the pool (creating one on miss),
 follows redirects (a DPM head node redirecting to a disk node is the
 normal case in the paper's deployment), transparently retries stale
-keep-alive connections, and retries transient failures up to
-``params.retries`` times.
+keep-alive connections, and retries transient failures under the
+operative :class:`~repro.resilience.RetryPolicy`.
+
+Three resilience policies meet here:
+
+* **retry/backoff** — one :class:`~repro.resilience.RetrySchedule` per
+  logical operation covers connect failures, mid-exchange transport
+  errors and retriable (5xx) statuses; backoff delays come from the
+  context's seeded jitter RNG, so runs are deterministic;
+* **deadline** — ``params.deadline`` becomes a
+  :class:`~repro.resilience.Deadline` spanning every attempt, redirect
+  and byte read; expiry raises
+  :class:`~repro.errors.DeadlineExceeded` and is never retried;
+* **circuit breaking** — every attempt consults the context's
+  :class:`~repro.resilience.BreakerBoard`; an open breaker
+  short-circuits with :class:`~repro.errors.CircuitOpenError` before
+  any connection cost, and every outcome feeds the endpoint's breaker.
+
+Mid-exchange failures (the request may have reached the application)
+are retried only for idempotent methods — a vectored multi-range GET is
+retry-safe, a MOVE is not — unless ``params.retry_non_idempotent``
+opts in. Connect failures and stale keep-alive races are always safe.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.concurrency import Sleep
 from repro.core.context import Context, RequestParams
 from repro.core.session import Session, StaleSession, open_session
 from repro.errors import (
+    CircuitOpenError,
     ConnectError,
     ConnectionClosed,
+    DeadlineExceeded,
     HttpParseError,
     HttpProtocolError,
     RedirectLoopError,
@@ -27,6 +49,7 @@ from repro.errors import (
 from repro.http import Request, Response, Url
 from repro.http.status import is_redirect, is_retriable
 from repro.net.tcp import TcpOptions
+from repro.resilience import Deadline, is_idempotent
 
 __all__ = ["execute_request", "checkout_session"]
 
@@ -39,32 +62,51 @@ TRANSIENT_ERRORS = (
 )
 
 
+def _target_origin(url: Url, params: RequestParams) -> Tuple:
+    """The origin an exchange for ``url`` actually connects to."""
+    if params.proxy is not None and url.scheme in ("http", "dav"):
+        return ("proxy",) + Url.parse(params.proxy).origin
+    return url.origin
+
+
 def checkout_session(
     context: Context,
     url: Url,
     params: RequestParams,
     parent_span=None,
+    deadline: Optional[Deadline] = None,
+    breakers=None,
 ):
     """Effect sub-op: a session for ``url`` (pooled or freshly opened).
 
     With ``params.proxy`` set, the session targets the proxy instead:
     one pooled connection carries traffic for every origin behind it.
-    Fresh connects are timed into ``session.connect_seconds`` and
-    counted in ``session.connect_total``; pool hits/misses are recorded
-    by the pool itself.
+    With ``breakers`` given, an open circuit for the origin raises
+    :class:`~repro.errors.CircuitOpenError` before any pool or connect
+    work; ``deadline`` bounds the connect timeout. Fresh connects are
+    timed into ``session.connect_seconds`` and counted in
+    ``session.connect_total``; pool hits/misses are recorded by the
+    pool itself.
     """
     if params.proxy is not None and url.scheme in ("http", "dav"):
         url = Url.parse(params.proxy)
         origin = ("proxy",) + url.origin
     else:
         origin = url.origin
+    if breakers is not None and not breakers.allow(origin):
+        raise CircuitOpenError(origin)
+    if deadline is not None:
+        deadline.check()
     session = context.pool.acquire(origin)
     if session is not None:
         session.metrics = context.metrics
         return session
     tcp_options = params.tcp_options
     if tcp_options is None:
-        tcp_options = TcpOptions(connect_timeout=params.connect_timeout)
+        connect_timeout = params.connect_timeout
+        if deadline is not None:
+            connect_timeout = deadline.clamp(connect_timeout)
+        tcp_options = TcpOptions(connect_timeout=connect_timeout)
     tls = None
     if url.scheme in ("https", "davs"):
         from repro.concurrency.tlsmodel import TlsPolicy
@@ -126,12 +168,44 @@ def _prepare(
     return prepared
 
 
+def _retry_pause(context, schedule, deadline, span, cause):
+    """Effect sub-op: claim one retry slot and sleep its backoff.
+
+    Returns True when the caller should retry; False when the attempt
+    budget is spent. A backoff that cannot fit in the remaining
+    deadline raises :class:`DeadlineExceeded` instead of sleeping.
+    """
+    delay = schedule.next_delay()
+    if delay is None:
+        context.metrics.counter("retry.exhausted_total").inc()
+        return False
+    if deadline is not None and deadline.remaining() <= delay:
+        context.metrics.counter("deadline.exceeded_total").inc()
+        raise DeadlineExceeded(deadline.budget) from cause
+    context.bump("retries")
+    context.metrics.counter("retry.attempts_total").inc()
+    context.metrics.counter("retry.backoff_seconds_total").inc(delay)
+    if delay > 0:
+        wait_span = span.child(
+            "retry-wait",
+            attempt=schedule.retries,
+            delay=delay,
+            cause=type(cause).__name__,
+        )
+        try:
+            yield Sleep(delay)
+        finally:
+            wait_span.end()
+    return True
+
+
 def execute_request(
     context: Context,
     url: Url,
     request: Request,
     params: Optional[RequestParams] = None,
     sink_factory: Optional[Callable[[Response], Optional[Callable]]] = None,
+    idempotent: Optional[bool] = None,
 ):
     """Effect op: run ``request`` against ``url`` -> (response, final_url).
 
@@ -139,11 +213,22 @@ def execute_request(
     returns a callable, body chunks stream into it instead of being
     buffered (and ``response.body`` stays empty). Error statuses are
     *returned*, not raised — callers map them to their own exceptions.
+    ``idempotent`` overrides the method-based retry-safety inference
+    (vectored reads pass True explicitly).
     """
     params = params or context.params
+    if idempotent is None:
+        idempotent = is_idempotent(request.method)
+    policy = params.effective_retry_policy()
+    schedule = policy.schedule(rng=context.retry_rng(policy))
+    deadline = (
+        Deadline.after(context.clock, params.deadline)
+        if params.deadline is not None
+        else None
+    )
+    breakers = context.breakers if params.breaker_enabled else None
     current = url
     redirects = 0
-    retries_left = params.retries
     span = context.tracer.start(
         "request", method=request.method, url=str(url)
     )
@@ -154,42 +239,77 @@ def execute_request(
             acquire_span = span.child("session-acquire")
             try:
                 session = yield from checkout_session(
-                    context, current, params, parent_span=acquire_span
+                    context,
+                    current,
+                    params,
+                    parent_span=acquire_span,
+                    deadline=deadline,
+                    breakers=breakers,
                 )
+            except (CircuitOpenError, DeadlineExceeded):
+                # Final: an open breaker fails fast (the fail-over
+                # driver moves on without burning the backoff window),
+                # a spent budget cannot fund another attempt.
+                raise
             except (
                 ConnectError,
                 ConnectionClosed,
                 HttpProtocolError,
             ) as exc:
-                if retries_left > 0:
-                    retries_left -= 1
-                    context.bump("retries")
-                    if params.retry_delay > 0:
-                        yield Sleep(params.retry_delay)
+                # The request never left: always safe to retry.
+                if breakers is not None:
+                    breakers.record(
+                        _target_origin(current, params), ok=False
+                    )
+                retry = yield from _retry_pause(
+                    context, schedule, deadline, span, exc
+                )
+                if retry:
                     continue
                 raise RequestError(f"connect failed: {exc}") from exc
             finally:
                 acquire_span.end()
 
+            origin = session.origin
             outgoing = _prepare(request, current, params, context)
             exchange_span = span.child("exchange", host=current.host)
             try:
                 response = yield from _session_exchange(
-                    session, outgoing, params, sink_factory, exchange_span
+                    session,
+                    outgoing,
+                    params,
+                    sink_factory,
+                    exchange_span,
+                    deadline,
                 )
             except StaleSession:
-                # The request never reached the application: always retry.
+                # The request never reached the application: always
+                # retry, without consuming the attempt budget (the
+                # classic keep-alive race is the pool's fault, not the
+                # endpoint's).
                 context.bump("retries")
                 context.metrics.counter("session.stale_total").inc()
                 session.discard()
                 continue
+            except DeadlineExceeded:
+                session.discard()
+                context.metrics.counter("deadline.exceeded_total").inc()
+                raise
             except TRANSIENT_ERRORS as exc:
                 session.discard()
-                if retries_left > 0:
-                    retries_left -= 1
-                    context.bump("retries")
-                    if params.retry_delay > 0:
-                        yield Sleep(params.retry_delay)
+                if breakers is not None:
+                    breakers.record(origin, ok=False)
+                if not (idempotent or params.retry_non_idempotent):
+                    # The exchange died mid-flight: the server may have
+                    # executed a non-idempotent operation already.
+                    context.metrics.counter(
+                        "retry.unsafe_skipped_total"
+                    ).inc()
+                    raise RequestError(str(exc)) from exc
+                retry = yield from _retry_pause(
+                    context, schedule, deadline, span, exc
+                )
+                if retry:
                     continue
                 raise RequestError(str(exc)) from exc
             finally:
@@ -200,6 +320,8 @@ def execute_request(
                 and is_redirect(response.status)
                 and response.headers.get("Location")
             ):
+                if breakers is not None:
+                    breakers.record(origin, ok=True)
                 context.pool.release(session)
                 redirects += 1
                 context.bump("redirects_followed")
@@ -208,14 +330,25 @@ def execute_request(
                 current = current.resolve(response.headers.get("Location"))
                 continue
 
-            if is_retriable(response.status) and retries_left > 0:
+            if is_retriable(response.status):
+                if breakers is not None:
+                    breakers.record(origin, ok=False)
                 context.pool.release(session)
-                retries_left -= 1
-                context.bump("retries")
-                if params.retry_delay > 0:
-                    yield Sleep(params.retry_delay)
-                continue
+                cause = RequestError(
+                    f"HTTP {response.status}", status=response.status
+                )
+                retry = yield from _retry_pause(
+                    context, schedule, deadline, span, cause
+                )
+                if retry:
+                    continue
+                # Budget spent: hand the error response to the caller
+                # (it maps statuses to its own exceptions).
+                span.set(status=response.status)
+                return response, current
 
+            if breakers is not None:
+                breakers.record(origin, ok=True)
             context.pool.release(session)
             span.set(status=response.status)
             return response, current
@@ -229,11 +362,15 @@ def _session_exchange(
     params: RequestParams,
     sink_factory,
     span=None,
+    deadline: Optional[Deadline] = None,
 ):
     """One exchange on one session, with late sink selection."""
     if sink_factory is None:
         response = yield from session.request(
-            request, timeout=params.operation_timeout, span=span
+            request,
+            timeout=params.operation_timeout,
+            span=span,
+            deadline=deadline,
         )
         return response
     response = yield from session.request(
@@ -241,5 +378,6 @@ def _session_exchange(
         sink_factory=sink_factory,
         timeout=params.operation_timeout,
         span=span,
+        deadline=deadline,
     )
     return response

@@ -21,7 +21,12 @@ from typing import Callable, Optional, Tuple
 
 from repro.concurrency import Connect, Recv, Send, Sleep
 from repro.concurrency.tlsmodel import TlsPolicy, client_handshake
-from repro.errors import ConnectionClosed, NetworkError
+from repro.errors import (
+    ConnectionClosed,
+    DeadlineExceeded,
+    NetworkError,
+    TransferTimeout,
+)
 from repro.http import (
     CONNECTION_CLOSED,
     NEED_DATA,
@@ -89,6 +94,21 @@ class Session:
 
     # -- protocol ------------------------------------------------------------
 
+    def _recv_timeout(self, timeout, deadline):
+        """Per-read timeout bounded by the operation deadline (if any).
+
+        Raises :class:`~repro.errors.DeadlineExceeded` — after marking
+        the session dirty, since the exchange is being abandoned
+        mid-response — when the budget is already spent.
+        """
+        if deadline is None:
+            return timeout
+        try:
+            return deadline.clamp(timeout)
+        except DeadlineExceeded:
+            self.mark_dirty()
+            raise
+
     def request(
         self,
         request: Request,
@@ -96,6 +116,7 @@ class Session:
         sink_factory=None,
         timeout: Optional[float] = None,
         span=None,
+        deadline=None,
     ):
         """Effect sub-op: send ``request``, read the full response.
 
@@ -105,7 +126,10 @@ class Session:
         to stream (it receives the head and returns a sink or ``None``)
         — needed so redirect/error bodies are buffered, not streamed.
         ``span`` (when given) becomes the parent of ``send``/``recv``
-        child spans covering the two wire phases.
+        child spans covering the two wire phases. ``deadline`` (a
+        :class:`~repro.resilience.Deadline`) bounds every read: each
+        ``Recv`` timeout is clamped to the remaining budget and expiry
+        raises :class:`~repro.errors.DeadlineExceeded`.
         Raises :class:`StaleSession` when a *reused* connection turns
         out dead before the status line arrives.
         """
@@ -117,6 +141,8 @@ class Session:
         self.bytes_sent += len(wire)
         if self.metrics is not None:
             self.metrics.counter("session.bytes_sent_total").inc(len(wire))
+        if deadline is not None:
+            deadline.check()
         send_span = span.child("send", bytes=len(wire)) if span else None
         try:
             if self.tls is not None:
@@ -140,11 +166,21 @@ class Session:
                 event = parser.next_event()
                 if event == NEED_DATA:
                     try:
-                        data = yield Recv(self.channel, timeout=timeout)
+                        data = yield Recv(
+                            self.channel,
+                            timeout=self._recv_timeout(timeout, deadline),
+                        )
                     except ConnectionClosed as exc:
                         self.mark_dirty()
                         if reused and head is None:
                             raise StaleSession(str(exc)) from exc
+                        raise
+                    except TransferTimeout as exc:
+                        self.mark_dirty()
+                        if deadline is not None and deadline.expired:
+                            raise DeadlineExceeded(
+                                deadline.budget
+                            ) from exc
                         raise
                     self.bytes_received += len(data)
                     received += len(data)

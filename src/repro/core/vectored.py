@@ -27,6 +27,7 @@ __all__ = [
     "VectorPlan",
     "plan_vector",
     "scatter_parts",
+    "missing_ranges",
 ]
 
 
@@ -168,6 +169,27 @@ def scatter_parts(
                 )
             out[fragment.index] = piece
     return out
+
+
+def missing_ranges(
+    plan_batch: List[CoalescedRange],
+    parts: Dict[int, bytes],
+) -> List[CoalescedRange]:
+    """The planned ranges ``parts`` does not fully cover.
+
+    Used by the retry path of a vectored read: when a server reset cut
+    a multipart response short (or a weak server only answered some
+    ranges), the remaining ranges are re-requested as a smaller batch
+    instead of re-reading everything — multi-range GETs are idempotent,
+    so the refetch is always safe.
+    """
+    missing: List[CoalescedRange] = []
+    for rng in plan_batch:
+        try:
+            _find_part(parts, rng.offset, rng.length)
+        except RequestError:
+            missing.append(rng)
+    return missing
 
 
 def _find_part(parts: Dict[int, bytes], offset: int, length: int) -> bytes:

@@ -58,6 +58,38 @@ class TransferTimeout(NetworkError):
     """A transfer did not complete within its deadline."""
 
 
+class DeadlineExceeded(TransferTimeout):
+    """A per-operation time budget (``RequestParams.deadline``) ran out.
+
+    Unlike a plain :class:`TransferTimeout` this is *final*: the retry
+    loop and the fail-over driver re-raise it instead of trying again,
+    because further attempts cannot fit in the spent budget.
+    """
+
+    def __init__(self, budget=None):
+        detail = (
+            f"deadline of {budget}s exceeded"
+            if budget is not None
+            else "deadline exceeded"
+        )
+        super().__init__(detail)
+        self.budget = budget
+
+
+class CircuitOpenError(ConnectError):
+    """A request was short-circuited by an open circuit breaker.
+
+    Subclasses :class:`ConnectError` so every layer that knows how to
+    route around an unreachable endpoint (fail-over, multistream)
+    treats a tripped breaker the same way — without paying for a real
+    connection attempt.
+    """
+
+    def __init__(self, origin):
+        super().__init__(f"circuit open for {origin}")
+        self.origin = origin
+
+
 # ---------------------------------------------------------------------------
 # HTTP protocol errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Resilience layer: retry/backoff, deadlines and circuit breaking.
+
+The paper makes plain HTTP dependable on unreliable grid infrastructure
+via transparent replica fail-over (Section 2.4); this package supplies
+the policies real deployments layer underneath and around it:
+
+* :class:`RetryPolicy` / :class:`RetrySchedule` — bounded attempts with
+  deterministic (seeded) decorrelated-jitter backoff;
+* :class:`Deadline` — a per-operation time budget threaded down to the
+  socket reads;
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-endpoint
+  closed/open/half-open breaking so dead replicas are skipped without
+  burning the backoff window.
+
+Everything runs on injected clocks and RNGs, so the chaos-test harness
+in ``tests/resilience`` can assert exact retry counts, breaker
+transitions and byte-identical metric exports across repeated runs.
+"""
+
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import (
+    IDEMPOTENT_METHODS,
+    RetryPolicy,
+    RetrySchedule,
+    is_idempotent,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "IDEMPOTENT_METHODS",
+    "RetryPolicy",
+    "RetrySchedule",
+    "is_idempotent",
+]

@@ -1,0 +1,68 @@
+"""Per-operation time budgets over an injected clock.
+
+A :class:`Deadline` is an absolute expiry point against whatever clock
+the :class:`~repro.core.context.Context` runs on (simulated or
+monotonic). It is threaded from ``RequestParams.deadline`` through
+:func:`~repro.core.request.execute_request` down into
+:meth:`~repro.core.session.Session.request`, where it clamps every
+``Recv`` timeout — so one slow replica cannot eat the whole budget of
+an operation that still has retries or replicas left.
+
+Expiry raises :class:`~repro.errors.DeadlineExceeded`, which the retry
+loop and the fail-over driver both treat as *final*: a blown budget is
+a user-visible outcome, not a transient fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute expiry time on an injected clock."""
+
+    __slots__ = ("clock", "expires_at", "budget")
+
+    def __init__(self, clock: Callable[[], float], expires_at: float,
+                 budget: Optional[float] = None):
+        self.clock = clock
+        self.expires_at = expires_at
+        #: The original budget in seconds (for error messages).
+        self.budget = budget
+
+    @classmethod
+    def after(cls, clock: Callable[[], float], seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ValueError("deadline budget must be >= 0")
+        return cls(clock, clock() + seconds, budget=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(self.budget)
+
+    def clamp(self, timeout: Optional[float]) -> float:
+        """``timeout`` bounded by the remaining budget.
+
+        Raises :class:`DeadlineExceeded` instead of returning a zero (or
+        negative) timeout — a wait that cannot succeed should not start.
+        """
+        remaining = self.expires_at - self.clock()
+        if remaining <= 0:
+            raise DeadlineExceeded(self.budget)
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)

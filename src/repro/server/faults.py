@@ -3,13 +3,21 @@
 Replaces "a grid site is down / overloaded" in the paper's world: the
 failover and resiliency experiments (Section 2.4) drive the client
 against servers wearing one of these policies.
+
+A policy instance is stateful (one RNG stream, injection counters) so a
+chaos run is reproducible from its seed. :meth:`FaultPolicy.reset`
+rewinds that state so the same instance can serve several runs without
+the second run seeing the first run's RNG position or counters; all
+mutation happens under one lock so threaded servers share a policy
+safely.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 __all__ = ["FaultAction", "FaultPolicy"]
 
@@ -52,8 +60,22 @@ class FaultPolicy:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
+        self._lock = threading.Lock()
         self._rng = random.Random(self.seed)
         self.injected = {"error": 0, "reset": 0, "slow": 0}
+
+    def reset(self) -> None:
+        """Rewind to the post-construction state: fresh RNG stream from
+        ``seed``, zeroed injection counters. Lets one policy instance
+        drive several runs with identical fault schedules."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self.injected = {"error": 0, "reset": 0, "slow": 0}
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the injection counters."""
+        with self._lock:
+            return dict(self.injected)
 
     def break_path(self, path: str) -> None:
         """Make every request for ``path`` fail with ``error_status``."""
@@ -64,19 +86,20 @@ class FaultPolicy:
 
     def next_action(self, path: str) -> Optional[FaultAction]:
         """Decide the fault (if any) for a request on ``path``."""
-        if path in self.broken_paths:
-            self.injected["error"] += 1
-            return FaultAction("error", status=self.error_status)
-        roll = self._rng.random()
-        if roll < self.error_rate:
-            self.injected["error"] += 1
-            return FaultAction("error", status=self.error_status)
-        roll -= self.error_rate
-        if roll < self.reset_rate:
-            self.injected["reset"] += 1
-            return FaultAction("reset")
-        roll -= self.reset_rate
-        if roll < self.slow_rate:
-            self.injected["slow"] += 1
-            return FaultAction("slow", delay=self.slow_delay)
-        return None
+        with self._lock:
+            if path in self.broken_paths:
+                self.injected["error"] += 1
+                return FaultAction("error", status=self.error_status)
+            roll = self._rng.random()
+            if roll < self.error_rate:
+                self.injected["error"] += 1
+                return FaultAction("error", status=self.error_status)
+            roll -= self.error_rate
+            if roll < self.reset_rate:
+                self.injected["reset"] += 1
+                return FaultAction("reset")
+            roll -= self.reset_rate
+            if roll < self.slow_rate:
+                self.injected["slow"] += 1
+                return FaultAction("slow", delay=self.slow_delay)
+            return None

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import random
 import zlib
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -150,13 +150,19 @@ class StoredObject:
         content: Content,
         content_type: str = "application/octet-stream",
         mtime: float = 0.0,
+        version: Optional[int] = None,
     ):
         self.path = path
         self.content = content
         self.content_type = content_type
         self.mtime = mtime
-        StoredObject._etag_counter += 1
-        self.etag = f'"obj-{StoredObject._etag_counter}-{content.size}"'
+        if version is None:
+            # Standalone construction: fall back to a process-global
+            # counter. Stores pass their own version so two identically
+            # seeded runs mint identical ETags (chaos-run determinism).
+            StoredObject._etag_counter += 1
+            version = StoredObject._etag_counter
+        self.etag = f'"obj-{version}-{content.size}"'
         self._checksums: Dict[str, str] = {}
 
     @property
@@ -197,6 +203,7 @@ class ObjectStore:
         self.clock = clock or (lambda: 0.0)
         self.bytes_read = 0
         self.bytes_written = 0
+        self._version = 0
 
     # -- write path -------------------------------------------------------------
 
@@ -215,8 +222,10 @@ class ObjectStore:
             raise StoreError(f"{path} is a collection")
         if not isinstance(content, Content):
             content = BytesContent(content)
+        self._version += 1
         obj = StoredObject(
-            path, content, content_type, mtime=self.clock()
+            path, content, content_type, mtime=self.clock(),
+            version=self._version,
         )
         self._ensure_parents(path)
         self._objects[path] = obj

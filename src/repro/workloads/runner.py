@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.concurrency import SimRuntime
-from repro.core.context import Context
+from repro.core.context import Context, RequestParams
+from repro.server.faults import FaultPolicy
 from repro.net.profiles import NetProfile, build_network
 from repro.rootio.generator import (
     DatasetSpec,
@@ -52,14 +53,26 @@ class Scenario:
     seed: int = 0
     #: Materialise real bytes (small runs) vs layout-only (big runs).
     materialize: bool = False
+    #: Fault policy worn by the storage server (chaos runs); davix only.
+    faults: Optional[FaultPolicy] = None
+    #: Request params for the davix client (retry policy, deadline, …).
+    params: Optional[RequestParams] = None
 
     def __post_init__(self):
         if self.protocol not in ("davix", "xrootd"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
 
 
-def run_scenario(scenario: Scenario) -> AnalysisReport:
-    """Execute one scenario in a fresh simulated world."""
+def run_scenario(
+    scenario: Scenario, context: Optional[Context] = None
+) -> AnalysisReport:
+    """Execute one scenario in a fresh simulated world.
+
+    ``context`` lets the caller supply a pre-composed
+    :class:`~repro.core.context.Context` (a metric registry to inspect
+    afterwards, a breaker config); the runner still rebinds its clock to
+    the fresh simulation. Davix protocol only.
+    """
     env = Environment()
     net = build_network(scenario.profile, env, seed=scenario.seed)
     client_rt = SimRuntime(net, "client")
@@ -77,18 +90,30 @@ def run_scenario(scenario: Scenario) -> AnalysisReport:
         meta = layout
 
     if scenario.protocol == "davix":
-        HttpServer(server_rt, StorageApp(store), port=80).start()
-        context = Context()
+        HttpServer(
+            server_rt,
+            StorageApp(store, faults=scenario.faults),
+            port=80,
+        ).start()
+        if context is None:
+            context = Context(params=scenario.params)
         context.clock = client_rt.now
+        # scenario.params is complete as given; otherwise analysis
+        # derives its own (context default + the config's TCP options).
         report = client_rt.run(
             davix_analysis(
                 context,
                 f"http://server{TREE_PATH}",
                 scenario.config,
+                params=scenario.params,
                 meta=meta,
             )
         )
     else:
+        if context is not None or scenario.faults is not None:
+            raise ValueError(
+                "context/fault injection is davix-only"
+            )
         serve_xrootd(server_rt, XrdServer(store), port=1094)
         report = client_rt.run(
             xrootd_analysis(

@@ -92,6 +92,7 @@ def davix_world(
     faults=None,
     replicas=None,
     params=None,
+    breaker=None,
 ):
     """A DavixClient wired to a simulated storage server.
 
@@ -106,6 +107,6 @@ def davix_world(
     store = ObjectStore(clock=server_rt.now)
     app = StorageApp(store, config=config, faults=faults, replicas=replicas)
     HttpServer(server_rt, app, port=80).start()
-    context = Context(params=params)
+    context = Context(params=params, breaker=breaker)
     client = DavixClient(client_rt, context=context)
     return client, app, store, server_rt

@@ -1,0 +1,111 @@
+"""Property-based tests for multipart/byteranges round-tripping.
+
+Seeded stdlib ``random`` only. The adversarial cases embed
+boundary-shaped byte strings *inside* part payloads — because the
+decoder walks parts by their declared Content-Range lengths, payload
+bytes that look like delimiters must never confuse it.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import HttpParseError
+from repro.http.multipart import (
+    RangePart,
+    content_type_boundary,
+    decode_byteranges,
+    encode_byteranges,
+    make_boundary,
+)
+
+N_CASES = 150
+
+
+def random_parts(rng, extra=b""):
+    total = rng.randrange(1, 200_000)
+    parts = []
+    for _ in range(rng.randrange(1, 8)):
+        # An HTTP byterange is at least one byte (first <= last).
+        payload = bytes(
+            rng.randrange(256) for _ in range(rng.randrange(1, 400))
+        )
+        if extra and rng.random() < 0.7:
+            cut = rng.randrange(len(payload) + 1)
+            payload = payload[:cut] + extra + payload[cut:]
+        parts.append(
+            RangePart(
+                offset=rng.randrange(0, total),
+                data=payload,
+                total=total,
+            )
+        )
+    return parts
+
+
+def test_encode_decode_round_trip():
+    rng = random.Random(10)
+    for _ in range(N_CASES):
+        parts = random_parts(rng)
+        boundary = f"b{rng.randrange(1 << 48):012x}"
+        assert decode_byteranges(
+            encode_byteranges(parts, boundary), boundary
+        ) == parts
+
+
+def test_round_trip_with_boundary_lookalikes_in_payload():
+    rng = random.Random(11)
+    boundary = "byterange_deadbeefcafef00d"
+    lookalikes = [
+        f"--{boundary}".encode(),
+        f"\r\n--{boundary}\r\n".encode(),
+        f"--{boundary}--\r\n".encode(),
+        b"\r\nContent-Range: bytes 0-0/1\r\n\r\n",
+    ]
+    for _ in range(N_CASES):
+        parts = random_parts(rng, extra=rng.choice(lookalikes))
+        assert decode_byteranges(
+            encode_byteranges(parts, boundary), boundary
+        ) == parts
+
+
+def test_truncated_bodies_always_raise():
+    """Any strict prefix of a valid body is a parse error, never a
+    silent partial result with the last part corrupted."""
+    rng = random.Random(12)
+    boundary = make_boundary()
+    for _ in range(40):
+        parts = random_parts(rng)
+        body = encode_byteranges(parts, boundary)
+        cut = rng.randrange(len(body))
+        try:
+            decoded = decode_byteranges(body[:cut], boundary)
+        except HttpParseError:
+            continue
+        # A prefix may still parse cleanly if the cut landed after a
+        # complete part but before the rest -- but every part returned
+        # must be intact and in order.
+        assert decoded == parts[: len(decoded)]
+
+
+def test_garbage_bodies_raise_not_crash():
+    rng = random.Random(13)
+    boundary = make_boundary()
+    for _ in range(N_CASES):
+        blob = bytes(
+            rng.randrange(256) for _ in range(rng.randrange(0, 300))
+        )
+        with pytest.raises(HttpParseError):
+            decode_byteranges(blob, boundary)
+
+
+def test_content_type_boundary_round_trip():
+    rng = random.Random(14)
+    for _ in range(50):
+        boundary = make_boundary() if rng.random() < 0.5 else (
+            f"tok{rng.randrange(1 << 32):08x}"
+        )
+        quoted = rng.random() < 0.5
+        value = f'"{boundary}"' if quoted else boundary
+        ct = f"multipart/byteranges; boundary={value}"
+        assert content_type_boundary(ct) == boundary

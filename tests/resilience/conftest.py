@@ -1,0 +1,61 @@
+"""Shared fixtures for the chaos suite.
+
+``chaos_seed`` parametrises a test over a fixed seed set; CI overrides
+the set through the ``CHAOS_SEEDS`` environment variable (comma or
+space separated), so the same suite sweeps different fault schedules
+across jobs while staying bit-reproducible within each.
+"""
+
+import os
+
+import pytest
+
+from repro.server.faults import FaultAction
+
+#: The default sweep — three seeds, chosen once and frozen.
+DEFAULT_CHAOS_SEEDS = (11, 23, 47)
+
+
+def _chaos_seeds():
+    raw = os.environ.get("CHAOS_SEEDS", "")
+    if not raw.strip():
+        return DEFAULT_CHAOS_SEEDS
+    return tuple(int(tok) for tok in raw.replace(",", " ").split())
+
+
+@pytest.fixture(params=_chaos_seeds())
+def chaos_seed(request):
+    """One seed of the chaos sweep (override with CHAOS_SEEDS=...)."""
+    return request.param
+
+
+class ScriptedFaults:
+    """FaultPolicy stand-in replaying a fixed action sequence.
+
+    Each ``next_action`` call pops the next scripted entry (``None``
+    meaning "serve normally"); after the script runs out every request
+    is served normally. Fully deterministic — used where a test needs
+    *exactly* N failures, not a probability of them.
+    """
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+        self.injected = {"error": 0, "reset": 0, "slow": 0}
+
+    def next_action(self, path):
+        if not self.actions:
+            return None
+        action = self.actions.pop(0)
+        if action is not None:
+            self.injected[action.kind] += 1
+        return action
+
+
+def errors(n, status=503):
+    """``n`` scripted 5xx fault actions."""
+    return [FaultAction("error", status=status)] * n
+
+
+def resets(n):
+    """``n`` scripted mid-body connection resets."""
+    return [FaultAction("reset")] * n

@@ -1,0 +1,66 @@
+"""Unit tests for the Deadline budget object."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, TransferTimeout
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_remaining_counts_down():
+    clock = FakeClock()
+    deadline = Deadline.after(clock, 10.0)
+    assert deadline.remaining() == 10.0
+    clock.t = 4.0
+    assert deadline.remaining() == 6.0
+    assert not deadline.expired
+    clock.t = 10.0
+    assert deadline.expired
+    assert deadline.remaining() == 0.0
+    clock.t = 12.0
+    assert deadline.remaining() == 0.0  # never negative
+
+
+def test_check_raises_once_spent():
+    clock = FakeClock()
+    deadline = Deadline.after(clock, 1.0)
+    deadline.check()  # fine
+    clock.t = 1.0
+    with pytest.raises(DeadlineExceeded) as info:
+        deadline.check()
+    assert info.value.budget == 1.0
+
+
+def test_clamp_bounds_timeouts_by_remaining_budget():
+    clock = FakeClock()
+    deadline = Deadline.after(clock, 5.0)
+    assert deadline.clamp(30.0) == 5.0
+    assert deadline.clamp(2.0) == 2.0
+    assert deadline.clamp(None) == 5.0
+    clock.t = 4.5
+    assert deadline.clamp(30.0) == pytest.approx(0.5)
+
+
+def test_clamp_raises_instead_of_zero_timeout():
+    clock = FakeClock()
+    deadline = Deadline.after(clock, 1.0)
+    clock.t = 1.0
+    with pytest.raises(DeadlineExceeded):
+        deadline.clamp(30.0)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline.after(FakeClock(), -1.0)
+
+
+def test_deadline_exceeded_is_a_timeout():
+    # Callers catching TransferTimeout keep working.
+    assert issubclass(DeadlineExceeded, TransferTimeout)

@@ -65,3 +65,92 @@ def test_rate_validation():
         FaultPolicy(error_rate=1.5)
     with pytest.raises(ValueError):
         FaultPolicy(reset_rate=-0.1)
+
+
+# -- stateful-reuse regressions ------------------------------------------------
+#
+# A FaultPolicy instance carries mutable state (the RNG stream and the
+# injection counters). Reusing one across runs used to leak the first
+# run's RNG position into the second, silently breaking determinism.
+
+
+def test_reset_rewinds_rng_and_counters():
+    policy = FaultPolicy(
+        error_rate=0.2, reset_rate=0.1, slow_rate=0.3, seed=5
+    )
+    first = [
+        getattr(policy.next_action("/x"), "kind", None)
+        for _ in range(40)
+    ]
+    injected_first = policy.snapshot()
+    assert sum(injected_first.values()) > 0
+
+    policy.reset()
+    assert policy.snapshot() == {"error": 0, "reset": 0, "slow": 0}
+    second = [
+        getattr(policy.next_action("/x"), "kind", None)
+        for _ in range(40)
+    ]
+    assert first == second
+    assert policy.snapshot() == injected_first
+
+
+def test_reset_matches_fresh_instance():
+    recycled = FaultPolicy(error_rate=0.4, seed=9)
+    for _ in range(25):
+        recycled.next_action("/x")
+    recycled.reset()
+    fresh = FaultPolicy(error_rate=0.4, seed=9)
+    for _ in range(25):
+        assert (
+            getattr(recycled.next_action("/x"), "kind", None)
+            == getattr(fresh.next_action("/x"), "kind", None)
+        )
+
+
+def test_snapshot_is_a_copy():
+    policy = FaultPolicy(error_rate=1.0, seed=0)
+    policy.next_action("/x")
+    snap = policy.snapshot()
+    snap["error"] = 99
+    assert policy.snapshot() == {"error": 1, "reset": 0, "slow": 0}
+
+
+def test_concurrent_next_action_is_consistent():
+    """Threaded servers share one policy: counters must not lose
+    updates and every thread must draw from the one RNG stream."""
+    import threading
+
+    policy = FaultPolicy(
+        error_rate=0.3, reset_rate=0.2, slow_rate=0.1, seed=2
+    )
+    per_thread = 500
+    n_threads = 8
+    results = [[] for _ in range(n_threads)]
+
+    def worker(bucket):
+        for _ in range(per_thread):
+            bucket.append(policy.next_action("/x"))
+
+    threads = [
+        threading.Thread(target=worker, args=(results[i],))
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    injected = policy.snapshot()
+    fired = [
+        action
+        for bucket in results
+        for action in bucket
+        if action is not None
+    ]
+    # No lost counter updates under contention.
+    assert sum(injected.values()) == len(fired)
+    for kind in ("error", "reset", "slow"):
+        assert injected[kind] == sum(
+            1 for action in fired if action.kind == kind
+        )
