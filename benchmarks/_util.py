@@ -9,15 +9,20 @@ Environment knobs:
 
 Every benchmark prints its paper-vs-measured table (visible with
 ``pytest -s``) and appends it to ``benchmarks/results/<name>.txt`` so
-the artefacts survive the run.
+the artefacts survive the run. Alongside the table, :func:`emit` writes
+a machine-readable ``benchmarks/results/BENCH_<name>.json`` with the
+workload parameters, the per-config samples and a mean/p50/p95 summary
+— the artefact CI's perf-smoke job and external analysis consume.
 """
 
 from __future__ import annotations
 
+import json
+import numbers
 import os
 import pathlib
 
-from repro.bench import render_table
+from repro.bench import render_table, sample_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -30,11 +35,75 @@ def bench_reps() -> int:
     return int(os.environ.get("REPRO_BENCH_REPS", "2"))
 
 
-def emit(name: str, title: str, headers, rows, note=None) -> str:
-    """Render, print, and persist one results table."""
+def _config_entry(samples) -> dict:
+    """Normalise one config (a sample list or a dict with ``samples``)."""
+    if isinstance(samples, dict):
+        entry = dict(samples)
+        values = [float(v) for v in entry.get("samples", [])]
+    else:
+        entry = {}
+        values = [float(v) for v in samples]
+    entry["samples"] = values
+    if values:
+        entry["summary"] = sample_summary(values)
+    return entry
+
+
+def _derived_configs(rows) -> dict:
+    """Default per-config view: one config per row, labelled by the
+    first cell, sampling every numeric cell of that row."""
+    configs = {}
+    for row in rows:
+        cells = list(row)
+        if not cells:
+            continue
+        label = str(cells[0])
+        values = [
+            float(cell)
+            for cell in cells[1:]
+            if isinstance(cell, numbers.Real)
+        ]
+        configs[label] = _config_entry(values)
+    return configs
+
+
+def emit(
+    name: str,
+    title: str,
+    headers,
+    rows,
+    note=None,
+    params=None,
+    configs=None,
+) -> str:
+    """Render, print, and persist one results table (+ JSON artefact).
+
+    ``params`` records the workload knobs (sizes, profiles, seeds);
+    ``configs`` maps a config label to its raw sample list (or a dict
+    carrying ``samples`` plus extra fields). When omitted, a per-row
+    view is derived from the table so every benchmark emits JSON.
+    """
     table = render_table(title, headers, rows, note)
     print("\n" + table + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(table + "\n")
+
+    payload = {
+        "bench": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "note": note,
+        "params": dict(params or {}),
+        "configs": {
+            str(label): _config_entry(samples)
+            for label, samples in (configs or {}).items()
+        }
+        or _derived_configs(rows),
+    }
+    json_path = RESULTS_DIR / f"BENCH_{name}.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     return table

@@ -94,6 +94,20 @@ def test_keepalive_pool(benchmark):
             "slowdown = reconnect/pool; grows with RTT (handshake + "
             "slow-start restart per request)"
         ),
+        params={
+            "n_requests": N_REQUESTS,
+            "object_size": OBJECT_SIZE,
+            "profiles": [p.name for p in (LAN, GEANT, WAN)],
+            "seed": 11,
+        },
+        configs={
+            "pool": [
+                results[(p.name, True)][0] for p in (LAN, GEANT, WAN)
+            ],
+            "reconnect": [
+                results[(p.name, False)][0] for p in (LAN, GEANT, WAN)
+            ],
+        },
     )
 
     metric_rows = []

@@ -7,8 +7,11 @@ operations".
 
 Workload: F scattered 4 KiB fragments of a 200 MB remote file over the
 GEANT profile (40 ms RTT), read (a) one GET-with-Range per fragment,
-(b) as one vectored ``pread_vec``. Metric: elapsed time and HTTP
-request count.
+(b) as one vectored ``pread_vec``, (c) the same vectored read with the
+batches dispatched concurrently (``vector_max_inflight``) over pooled
+sessions. Metric: elapsed time, HTTP request count, and the zero-copy
+accounting (``vector.copy_bytes_total`` must equal the requested bytes
+— exactly one materialising copy per fragment).
 """
 
 from repro.concurrency import SimRuntime
@@ -22,9 +25,10 @@ from _util import emit
 FILE_SIZE = 200_000_000
 FRAGMENT = 4096
 COUNTS = (16, 64, 256, 1024)
+PARALLEL_INFLIGHT = 4
 
 
-def build_client():
+def build_client(max_inflight: int = 1):
     env = Environment()
     net = build_network(GEANT, env, seed=3)
     client_rt = SimRuntime(net, "client")
@@ -32,13 +36,39 @@ def build_client():
     store.put("/data", ZeroContent(FILE_SIZE))
     app = StorageApp(store)
     HttpServer(SimRuntime(net, "server"), app, port=80).start()
-    client = DavixClient(client_rt, params=RequestParams(vector_gap=0))
+    client = DavixClient(
+        client_rt,
+        params=RequestParams(
+            vector_gap=0, vector_max_inflight=max_inflight
+        ),
+    )
     return client, app, client_rt
 
 
 def fragments(count):
     stride = FILE_SIZE // (count + 1)
     return [(i * stride, FRAGMENT) for i in range(count)]
+
+
+def run_vectored(reads, max_inflight):
+    client, app, client_rt = build_client(max_inflight)
+    start = client_rt.now()
+    data = client.pread_vec("http://server/data", reads)
+    elapsed = client_rt.now() - start
+    registry = client.metrics()
+    metrics = {
+        name: registry.value(f"vector.{name}_total") or 0
+        for name in (
+            "round_trips",
+            "fragments",
+            "ranges",
+            "fragments_coalesced",
+            "requested_bytes",
+            "overhead_bytes",
+            "copy_bytes",
+        )
+    }
+    return elapsed, app.requests_handled, data, metrics
 
 
 def test_vectored_io(benchmark):
@@ -56,27 +86,19 @@ def test_vectored_io(benchmark):
                 app.requests_handled,
             )
 
-            client, app, client_rt = build_client()
-            start = client_rt.now()
-            client.pread_vec("http://server/data", reads)
-            out[(count, "vectored")] = (
-                client_rt.now() - start,
-                app.requests_handled,
+            seq_time, seq_reqs, seq_data, seq_metrics = run_vectored(
+                reads, max_inflight=1
             )
-            # Vectored-I/O breakdown from the metrics registry rather
-            # than recomputing the plan by hand.
-            registry = client.metrics()
-            out[(count, "metrics")] = {
-                name: registry.value(f"vector.{name}_total") or 0
-                for name in (
-                    "round_trips",
-                    "fragments",
-                    "ranges",
-                    "fragments_coalesced",
-                    "requested_bytes",
-                    "overhead_bytes",
-                )
-            }
+            out[(count, "vectored")] = (seq_time, seq_reqs)
+            out[(count, "metrics")] = seq_metrics
+
+            par_time, par_reqs, par_data, par_metrics = run_vectored(
+                reads, max_inflight=PARALLEL_INFLIGHT
+            )
+            out[(count, "parallel")] = (par_time, par_reqs)
+            out[(count, "parallel-metrics")] = par_metrics
+            # Parallel dispatch must not change a single byte.
+            assert par_data == seq_data
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -85,6 +107,7 @@ def test_vectored_io(benchmark):
     for count in COUNTS:
         single_time, single_reqs = results[(count, "per-fragment")]
         vec_time, vec_reqs = results[(count, "vectored")]
+        par_time, _ = results[(count, "parallel")]
         rows.append(
             [
                 count,
@@ -92,6 +115,7 @@ def test_vectored_io(benchmark):
                 single_time,
                 vec_reqs,
                 vec_time,
+                par_time,
                 single_time / vec_time,
             ]
         )
@@ -104,13 +128,35 @@ def test_vectored_io(benchmark):
             "time (single)",
             "reqs (vec)",
             "time (vec)",
+            "time (vec par)",
             "speedup",
         ],
         rows,
         note=(
             "vectored = HTTP multi-range; request count collapses by "
-            "max_vector_ranges (256) per request"
+            "max_vector_ranges (256) per request; 'vec par' dispatches "
+            f"batches {PARALLEL_INFLIGHT}-way concurrently"
         ),
+        params={
+            "file_size": FILE_SIZE,
+            "fragment": FRAGMENT,
+            "counts": list(COUNTS),
+            "profile": GEANT.name,
+            "rtt_ms": GEANT.spec.latency * 2 * 1000,
+            "parallel_inflight": PARALLEL_INFLIGHT,
+            "seed": 3,
+        },
+        configs={
+            "per-fragment": [
+                results[(c, "per-fragment")][0] for c in COUNTS
+            ],
+            "vectored-sequential": [
+                results[(c, "vectored")][0] for c in COUNTS
+            ],
+            "vectored-parallel": [
+                results[(c, "parallel")][0] for c in COUNTS
+            ],
+        },
     )
 
     metric_rows = []
@@ -124,6 +170,7 @@ def test_vectored_io(benchmark):
                 metrics["fragments_coalesced"],
                 metrics["requested_bytes"],
                 metrics["overhead_bytes"],
+                metrics["copy_bytes"],
             ]
         )
     emit(
@@ -136,28 +183,42 @@ def test_vectored_io(benchmark):
             "coalesced",
             "req bytes",
             "overhead bytes",
+            "copy bytes",
         ],
         metric_rows,
         note=(
             "sourced from client.metrics(); coalesced = fragments "
-            "merged into a neighbouring range by the planner"
+            "merged into a neighbouring range by the planner; copy "
+            "bytes = materialised fragment bytes (one copy each)"
         ),
     )
 
     for count in COUNTS:
         single_time, single_reqs = results[(count, "per-fragment")]
         vec_time, vec_reqs = results[(count, "vectored")]
+        par_time, par_reqs = results[(count, "parallel")]
         metrics = results[(count, "metrics")]
+        par_metrics = results[(count, "parallel-metrics")]
         assert single_reqs == count
         assert vec_reqs == -(-count // 256)  # ceil
+        assert par_reqs == vec_reqs
         assert vec_time < single_time
         # Registry-side accounting must match the observed requests.
         assert metrics["round_trips"] == vec_reqs
         assert metrics["fragments"] == count
         assert metrics["requested_bytes"] == count * FRAGMENT
+        # Zero-copy invariant: exactly one materialising copy per
+        # fragment, in both dispatch modes.
+        assert metrics["copy_bytes"] == count * FRAGMENT
+        assert par_metrics["copy_bytes"] == count * FRAGMENT
     # At 1024 fragments the speedup must be dramatic (>50x).
     assert (
         results[(1024, "per-fragment")][0]
         / results[(1024, "vectored")][0]
         > 50
+    )
+    # With 4 batches in flight over a 40 ms RTT link, parallel dispatch
+    # must beat sequential batch-by-batch execution.
+    assert (
+        results[(1024, "parallel")][0] < results[(1024, "vectored")][0]
     )

@@ -1,6 +1,14 @@
 """Benchmark support: statistics and table rendering."""
 
 from repro.bench.figures import PAPER_FIG4, print_table, render_table
-from repro.bench.stats import ratio, summarize
+from repro.bench.stats import percentile, ratio, sample_summary, summarize
 
-__all__ = ["PAPER_FIG4", "print_table", "render_table", "ratio", "summarize"]
+__all__ = [
+    "PAPER_FIG4",
+    "print_table",
+    "render_table",
+    "percentile",
+    "ratio",
+    "sample_summary",
+    "summarize",
+]

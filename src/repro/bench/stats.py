@@ -5,7 +5,7 @@ from __future__ import annotations
 import statistics
 from typing import Dict, Sequence
 
-__all__ = ["summarize", "ratio"]
+__all__ = ["summarize", "ratio", "percentile", "sample_summary"]
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
@@ -19,6 +19,39 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
         "min": min(data),
         "max": max(data),
         "median": statistics.median(data),
+        "n": float(len(data)),
+    }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") method so recorded p50/p95
+    figures line up with any external analysis of the JSON artefacts.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("no values for a percentile")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    weight = rank - low
+    return data[low] * (1.0 - weight) + data[high] * weight
+
+
+def sample_summary(values: Sequence[float]) -> Dict[str, float]:
+    """The benchmark-JSON summary triplet: mean, p50, p95 (plus n)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("no values to summarise")
+    return {
+        "mean": statistics.fmean(data),
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
         "n": float(len(data)),
     }
 

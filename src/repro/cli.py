@@ -46,6 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="URL",
         help="forward proxy for plain-http traffic (e.g. a site cache)",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="dispatch vectored-read batches (and multistream chunks) "
+        "concurrently over pooled sessions",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        metavar="N",
+        help="cap on concurrent in-flight requests per file "
+        "(implies --parallel; default 4 when --parallel is given)",
+    )
     resilience = parser.add_argument_group(
         "resilience",
         "retry/backoff, deadline and circuit-breaker knobs "
@@ -130,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-source download with up to N streams",
     )
 
+    vec = commands.add_parser(
+        "vec",
+        help="vectored read: fetch OFFSET:LENGTH ranges in one pass",
+    )
+    vec.add_argument("url")
+    vec.add_argument(
+        "ranges",
+        nargs="+",
+        metavar="OFFSET:LENGTH",
+        help="byte ranges to read, e.g. 0:4096 1048576:4096",
+    )
+    vec.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="concatenate the fragments into FILE "
+        "(default: per-fragment summary on stdout)",
+    )
+
     put = commands.add_parser("put", help="upload a file")
     put.add_argument("url")
     put.add_argument("input", help="local file to upload")
@@ -193,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _inflight(args) -> Optional[int]:
+    """Effective --max-inflight: explicit N, or 4 under bare --parallel."""
+    max_inflight = getattr(args, "max_inflight", None)
+    if max_inflight is None and getattr(args, "parallel", False):
+        max_inflight = 4
+    return max_inflight
+
+
 def _client(args) -> DavixClient:
     retry_policy = None
     if getattr(args, "max_attempts", None) is not None:
@@ -203,6 +243,11 @@ def _client(args) -> DavixClient:
             jitter=args.retry_jitter,
             seed=args.retry_seed,
         )
+    max_inflight = _inflight(args)
+    extra = {}
+    if max_inflight is not None:
+        extra["vector_max_inflight"] = max_inflight
+        extra["multistream_max_streams"] = max_inflight
     params = RequestParams(
         retries=args.retries,
         operation_timeout=args.timeout,
@@ -210,6 +255,7 @@ def _client(args) -> DavixClient:
         retry_policy=retry_policy,
         deadline=getattr(args, "deadline", None),
         breaker_enabled=not getattr(args, "no_breaker", False),
+        **extra,
     )
     breaker = BreakerConfig(
         threshold=getattr(args, "breaker_threshold", 5),
@@ -234,6 +280,47 @@ def cmd_get(args, out=sys.stdout) -> int:
         print(f"{len(data)} bytes -> {args.output}", file=out)
     else:
         sys.stdout.buffer.write(data)
+    return 0
+
+
+def _parse_range(text: str):
+    try:
+        offset_text, length_text = text.split(":", 1)
+        offset, length = int(offset_text), int(length_text)
+    except ValueError:
+        raise SystemExit(
+            f"davix-tool vec: bad range {text!r} (want OFFSET:LENGTH)"
+        )
+    if offset < 0 or length < 0:
+        raise SystemExit(
+            f"davix-tool vec: negative range {text!r}"
+        )
+    return offset, length
+
+
+def cmd_vec(args, out=sys.stdout) -> int:
+    reads = [_parse_range(text) for text in args.ranges]
+    client = _client(args)
+    fragments = client.pread_vec(
+        args.url, reads, max_inflight=_inflight(args)
+    )
+    if args.output:
+        pathlib.Path(args.output).write_bytes(b"".join(fragments))
+        print(
+            f"{sum(len(f) for f in fragments)} bytes "
+            f"({len(fragments)} fragments) -> {args.output}",
+            file=out,
+        )
+        return 0
+    for (offset, length), data in zip(reads, fragments):
+        print(f"{offset}:{length} -> {len(data)} bytes", file=out)
+    registry = client.metrics()
+    print(
+        f"round trips: "
+        f"{int(registry.value('vector.round_trips_total') or 0)}, "
+        f"ranges: {int(registry.value('vector.ranges_total') or 0)}",
+        file=out,
+    )
     return 0
 
 
@@ -436,6 +523,7 @@ def cmd_stats(args, out=sys.stdout) -> int:
 
 COMMANDS = {
     "get": cmd_get,
+    "vec": cmd_vec,
     "put": cmd_put,
     "ls": cmd_ls,
     "stat": cmd_stat,

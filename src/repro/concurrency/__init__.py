@@ -18,6 +18,7 @@ from repro.concurrency.effects import (
 )
 from repro.concurrency.promise import EffectLock, SimPromise, ThreadPromise
 from repro.concurrency.runtime import Runtime, TaskHandle
+from repro.concurrency.structures import Outcome, bounded_gather
 from repro.concurrency.sim_runtime import SimRuntime
 from repro.concurrency.thread_runtime import ThreadRuntime
 
@@ -38,6 +39,8 @@ __all__ = [
     "Send",
     "Sleep",
     "Spawn",
+    "Outcome",
+    "bounded_gather",
     "Runtime",
     "TaskHandle",
     "SimRuntime",

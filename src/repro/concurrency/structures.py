@@ -1,0 +1,93 @@
+"""Structured-concurrency helpers built from the effect vocabulary.
+
+:func:`bounded_gather` is the shared fan-out primitive: run N effect
+sub-operations with at most ``limit`` in flight, collect every outcome
+in submission order, and only then surface failures. It backs the
+pool dispatcher (:func:`repro.core.dispatch.run_parallel`) and the
+parallel vectored-read path — one scheduling policy, every runtime
+(deterministic on the simulator, OS threads on sockets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.concurrency.effects import Join, Spawn
+
+__all__ = ["Outcome", "bounded_gather"]
+
+
+class Outcome:
+    """Result of one gathered operation: a value or an exception."""
+
+    __slots__ = ("index", "value", "error")
+
+    def __init__(self, index: int, value=None, error=None):
+        self.index = index
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self):
+        """The value, re-raising the operation's exception if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def __repr__(self) -> str:
+        state = f"error={self.error!r}" if self.error else f"value={self.value!r}"
+        return f"<Outcome #{self.index} {state}>"
+
+
+def bounded_gather(
+    thunks: Sequence[Callable[[], Generator]],
+    limit: int,
+    name: str = "gather",
+    on_start: Optional[Callable[[], None]] = None,
+    on_finish: Optional[Callable[[], None]] = None,
+):
+    """Effect sub-op: run operation thunks with ``limit`` in flight.
+
+    Each thunk is a zero-argument callable returning a fresh effect
+    generator. ``min(limit, len(thunks))`` worker lanes are spawned;
+    each lane drains the shared queue, so a slow operation only holds
+    its own lane. Exceptions are captured per operation and returned in
+    the :class:`Outcome` list (submission order) — callers decide
+    whether to raise. ``on_start``/``on_finish`` are invoked around
+    every operation (in-flight gauges hook in here).
+    """
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    results: List[Optional[Outcome]] = [None] * len(thunks)
+    queue = deque(enumerate(thunks))
+
+    def lane():
+        while True:
+            try:
+                index, thunk = queue.popleft()
+            except IndexError:
+                return
+            if on_start is not None:
+                on_start()
+            try:
+                value = yield from thunk()
+            except Exception as exc:  # captured per operation
+                results[index] = Outcome(index, error=exc)
+            else:
+                results[index] = Outcome(index, value=value)
+            finally:
+                if on_finish is not None:
+                    on_finish()
+
+    width = min(limit, len(thunks))
+    tasks = []
+    for lane_index in range(width):
+        task = yield Spawn(lane(), name=f"{name}-{lane_index}")
+        tasks.append(task)
+    for task in tasks:
+        yield Join(task)
+    return results

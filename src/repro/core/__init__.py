@@ -28,6 +28,7 @@ from repro.core.session import Session, StaleSession, open_session
 from repro.core.vectored import (
     CoalescedRange,
     Fragment,
+    PartTable,
     VectorPlan,
     missing_ranges,
     plan_vector,
@@ -66,6 +67,7 @@ __all__ = [
     "open_session",
     "CoalescedRange",
     "Fragment",
+    "PartTable",
     "VectorPlan",
     "plan_vector",
     "scatter_parts",

@@ -200,9 +200,24 @@ class DavixClient:
         url,
         reads: Sequence[Tuple[int, int]],
         params: Optional[RequestParams] = None,
+        max_inflight: Optional[int] = None,
     ) -> List[bytes]:
-        """Vectored read: the paper's Section 2.3 in one call."""
-        return self.runtime.run(self._file(url, params).pread_vec(reads))
+        """Vectored read: the paper's Section 2.3 in one call.
+
+        ``max_inflight`` (when given) overrides
+        ``params.vector_max_inflight``: how many multi-range batches
+        may be in flight concurrently, each on its own pooled session.
+        """
+        overrides = (
+            {"vector_max_inflight": max_inflight}
+            if max_inflight is not None
+            else {}
+        )
+        return self.runtime.run(
+            DavFile(
+                self.context, url, self._resolve_params(params, **overrides)
+            ).pread_vec(reads)
+        )
 
     # -- resilience (Section 2.4) ----------------------------------------------------
 

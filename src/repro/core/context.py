@@ -76,6 +76,11 @@ class RequestParams:
     max_vector_ranges: int = 256
     #: Merge fragments whose gap is below this many bytes.
     vector_gap: int = 512
+    #: Maximum multi-range requests of one vectored read in flight at
+    #: once (1 = sequential dispatch, the historical behaviour). Each
+    #: in-flight batch runs on its own pooled session with its own
+    #: retry/deadline/breaker envelope.
+    vector_max_inflight: int = 1
 
     # -- Metalink (Section 2.4) --------------------------------------------------
     metalink_mode: str = MetalinkMode.FAILOVER
@@ -114,6 +119,8 @@ class RequestParams:
             raise ValueError("max_vector_ranges must be >= 1")
         if self.vector_gap < 0:
             raise ValueError("vector_gap must be >= 0")
+        if self.vector_max_inflight < 1:
+            raise ValueError("vector_max_inflight must be >= 1")
         if self.multistream_chunk < 1 or self.multistream_max_streams < 1:
             raise ValueError("multistream settings must be >= 1")
         if self.deadline is not None and self.deadline <= 0:
@@ -165,6 +172,8 @@ class Context:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         breaker: Optional[BreakerConfig] = None,
+        pool_shards: int = 8,
+        pool_idle_ttl: Optional[float] = None,
     ):
         self.params = params or RequestParams()
         #: Injected time source (simulated or monotonic); settable so
@@ -181,6 +190,8 @@ class Context:
             max_idle_per_origin=pool_max_per_origin,
             clock=self._now,
             metrics=self.metrics,
+            shards=pool_shards,
+            idle_ttl=pool_idle_ttl,
         )
         #: Per-endpoint circuit breakers; opening one drops the
         #: endpoint's idle pooled sessions along with it.

@@ -7,17 +7,16 @@ dispatched over a *dynamic pool* of kept-alive connections whose size
 tracks the concurrency level.
 
 :func:`run_parallel` is that dispatcher: N worker streams drain a shared
-job queue; each worker acquires a pooled session per job (via the
-normal ``execute_request`` path) so connections are recycled across
-jobs.
+job queue (via :func:`repro.concurrency.bounded_gather`); each worker
+acquires a pooled session per job (through the normal
+``execute_request`` path) so connections are recycled across jobs.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Sequence
 
-from repro.concurrency import Join, Spawn
+from repro.concurrency import bounded_gather
 
 __all__ = ["JobResult", "run_parallel"]
 
@@ -57,32 +56,14 @@ def run_parallel(
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
-    results: List[Optional[JobResult]] = [None] * len(jobs)
-    queue = deque(enumerate(jobs))
-
-    def worker():
-        while True:
-            try:
-                index, job = queue.popleft()
-            except IndexError:
-                return
-            try:
-                value = yield from job()
-            except Exception as exc:  # captured per job
-                results[index] = JobResult(index, error=exc)
-            else:
-                results[index] = JobResult(index, value=value)
-
-    width = min(concurrency, len(jobs))
-    tasks = []
-    for lane in range(width):
-        task = yield Spawn(worker(), name=f"dispatch-{lane}")
-        tasks.append(task)
-    for task in tasks:
-        yield Join(task)
-
+    outcomes = yield from bounded_gather(
+        jobs, limit=concurrency, name="dispatch"
+    )
+    results = [
+        JobResult(o.index, value=o.value, error=o.error) for o in outcomes
+    ]
     if raise_first:
         for result in results:
-            if result is not None and not result.ok:
+            if not result.ok:
                 raise result.error
     return results

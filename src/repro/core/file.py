@@ -18,9 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.concurrency import bounded_gather
 from repro.core.context import Context, RequestParams
 from repro.core.request import execute_request
-from repro.core.vectored import missing_ranges, plan_vector, scatter_parts
+from repro.core.vectored import (
+    PartTable,
+    missing_ranges,
+    plan_vector,
+    scatter_parts,
+)
 from repro.errors import (
     FileNotFound,
     HttpParseError,
@@ -204,7 +210,14 @@ class DavFile:
         This is the paper's flagship feature: the reads are coalesced
         and packed into at most ``ceil(n_ranges/max_vector_ranges)``
         multi-range requests, each answered by one
-        ``multipart/byteranges`` response.
+        ``multipart/byteranges`` response. With
+        ``params.vector_max_inflight > 1`` the batches dispatch
+        concurrently, each on its own pooled session with its own
+        retry/deadline/breaker envelope; partial responses refetch only
+        their ``missing_ranges``. The decode → scatter path is
+        zero-copy (``memoryview`` slices over each response buffer)
+        until the per-fragment ``bytes`` materialise — the only copy,
+        accounted in ``vector.copy_bytes_total``.
         """
         plan = plan_vector(
             reads,
@@ -231,29 +244,81 @@ class DavFile:
             max(0, plan.total_request_bytes - plan.requested_bytes)
         )
 
+        inflight = min(self.params.vector_max_inflight, len(plan.batches))
         span = self.context.tracer.start(
             "pread-vec",
             url=str(self.url),
             fragments=len(plan.fragments),
             ranges=plan.total_ranges,
+            inflight=max(1, inflight),
         )
         try:
             results: Dict[int, bytes] = {}
-            for batch in plan.batches:
-                parts = yield from self._fetch_batch_covered(batch)
-                results.update(scatter_parts(batch, parts))
+            if inflight <= 1:
+                for index, batch in enumerate(plan.batches):
+                    scattered = yield from self._fetch_scatter(
+                        batch, span, index
+                    )
+                    results.update(scattered)
+            else:
+                metrics.counter("vector.parallel_dispatch_total").inc()
+                gauge = metrics.gauge("vector.inflight")
+
+                def job(batch, index):
+                    def thunk():
+                        scattered = yield from self._fetch_scatter(
+                            batch, span, index
+                        )
+                        return scattered
+
+                    return thunk
+
+                outcomes = yield from bounded_gather(
+                    [
+                        job(batch, index)
+                        for index, batch in enumerate(plan.batches)
+                    ],
+                    limit=inflight,
+                    name="vec-batch",
+                    on_start=lambda: gauge.add(1),
+                    on_finish=lambda: gauge.add(-1),
+                )
+                for outcome in outcomes:
+                    results.update(outcome.unwrap())
         finally:
             span.end()
         return [results[i] for i in range(len(plan.fragments))]
 
-    def _fetch_batch_covered(self, batch):
+    def _fetch_scatter(self, batch, parent_span, index: int):
+        """Fetch one batch and scatter its fragments.
+
+        The per-batch child span is explicitly parented (concurrent
+        batches interleave, so implicit stack parenting would
+        cross-nest); the materialised fragment bytes land in
+        ``vector.copy_bytes_total`` — exactly one copy per fragment on
+        the zero-copy path.
+        """
+        batch_span = parent_span.child(
+            "vec-batch", batch=index, ranges=len(batch)
+        )
+        try:
+            parts = yield from self._fetch_batch_covered(batch, batch_span)
+            scattered = scatter_parts(batch, parts)
+        finally:
+            batch_span.end()
+        self.context.metrics.counter("vector.copy_bytes_total").inc(
+            sum(len(piece) for piece in scattered.values())
+        )
+        return scattered
+
+    def _fetch_batch_covered(self, batch, parent_span=None):
         """Fetch one batch, re-requesting any ranges the response left
         uncovered (a reset mid-multipart-body, a server honouring only
         some ranges). Multi-range GETs are idempotent, so the refetch
         is always retry-safe; rounds are bounded by the retry policy's
         attempt budget.
         """
-        parts = yield from self._fetch_batch(batch)
+        parts = yield from self._fetch_batch(batch, parent_span)
         rounds = self.params.effective_retry_policy().max_attempts - 1
         missing = missing_ranges(batch, parts)
         while missing and rounds > 0:
@@ -264,15 +329,15 @@ class DavFile:
             self.context.metrics.counter(
                 "vector.refetch_ranges_total"
             ).inc(len(missing))
-            more = yield from self._fetch_batch(missing)
-            parts.update(more)
+            more = yield from self._fetch_batch(missing, parent_span)
+            parts.merge(more)
             missing = missing_ranges(batch, parts)
         # Still-missing ranges surface through scatter_parts, which
         # raises the caller-facing RequestError.
         return parts
 
-    def _fetch_batch(self, batch):
-        """One multi-range request -> {part_offset: bytes}."""
+    def _fetch_batch(self, batch, parent_span=None):
+        """One multi-range request -> :class:`PartTable` of views."""
         specs = [
             RangeSpec.from_offset_length(rng.offset, rng.length)
             for rng in batch
@@ -282,6 +347,7 @@ class DavFile:
         response, _ = yield from execute_request(
             self.context, self.url, request, self.params,
             idempotent=True,
+            parent_span=parent_span,
         )
         raise_for_status(response, self.url.path)
 
@@ -290,20 +356,24 @@ class DavFile:
             if content_type.lower().startswith("multipart/byteranges"):
                 try:
                     boundary = content_type_boundary(content_type)
-                    parts = decode_byteranges(response.body, boundary)
+                    parts = decode_byteranges(
+                        response.body, boundary, copy=False
+                    )
                 except HttpParseError as exc:
                     raise RequestError(
                         f"bad multipart response: {exc}"
                     ) from exc
-                return {part.offset: part.data for part in parts}
+                return PartTable.from_parts(
+                    (part.offset, part.data) for part in parts
+                )
             content_range = response.headers.get("Content-Range")
             if content_range is None:
                 raise RequestError("206 without Content-Range")
             offset, _length, _total = parse_content_range(content_range)
-            return {offset: response.body}
+            return PartTable.from_parts([(offset, response.body)])
         # 200: the server does not support (multi-)ranges — the whole
         # object came back; slice everything from it.
-        return {0: response.body}
+        return PartTable.from_parts([(0, response.body)])
 
     # -- metalink -----------------------------------------------------------------
 

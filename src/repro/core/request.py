@@ -206,6 +206,7 @@ def execute_request(
     params: Optional[RequestParams] = None,
     sink_factory: Optional[Callable[[Response], Optional[Callable]]] = None,
     idempotent: Optional[bool] = None,
+    parent_span=None,
 ):
     """Effect op: run ``request`` against ``url`` -> (response, final_url).
 
@@ -214,7 +215,10 @@ def execute_request(
     buffered (and ``response.body`` stays empty). Error statuses are
     *returned*, not raised — callers map them to their own exceptions.
     ``idempotent`` overrides the method-based retry-safety inference
-    (vectored reads pass True explicitly).
+    (vectored reads pass True explicitly). ``parent_span`` pins the
+    ``request`` span's parent explicitly — required by concurrently
+    interleaved callers (parallel vectored dispatch), where the
+    tracer's implicit stack would cross-nest spans from sibling tasks.
     """
     params = params or context.params
     if idempotent is None:
@@ -230,7 +234,7 @@ def execute_request(
     current = url
     redirects = 0
     span = context.tracer.start(
-        "request", method=request.method, url=str(url)
+        "request", parent=parent_span, method=request.method, url=str(url)
     )
 
     try:

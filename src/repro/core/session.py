@@ -160,7 +160,9 @@ class Session:
         recv_span = span.child("recv") if span else None
         received = 0
         head: Optional[Response] = None
-        body = bytearray()
+        # Body chunks are joined once at the end — one copy total,
+        # instead of the grow-then-copy a bytearray would pay.
+        chunks = []
         try:
             while True:
                 event = parser.next_event()
@@ -203,7 +205,7 @@ class Session:
                     if sink is not None:
                         sink(event.data)
                     else:
-                        body.extend(event.data)
+                        chunks.append(event.data)
                 elif isinstance(event, EndOfMessage):
                     break
         finally:
@@ -215,7 +217,7 @@ class Session:
                 recv_span.end(bytes=received)
 
         assert head is not None
-        head.body = bytes(body)
+        head.body = chunks[0] if len(chunks) == 1 else b"".join(chunks)
         if not head.keep_alive():
             self.mark_dirty()
         return head

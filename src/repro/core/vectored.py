@@ -11,13 +11,19 @@ into few HTTP multi-range requests:
 3. **scatter** — slice each original fragment back out of the returned
    parts, whatever the coalescing did.
 
+The scatter side runs on a :class:`PartTable`: a bisect-indexed table
+of ``memoryview`` slices over the response buffer, so the decode →
+scatter path performs no byte copies until the user-facing boundary
+(``scatter_parts`` materialises exactly one ``bytes`` per fragment).
+
 All pure functions; the planning invariants are property-tested.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.errors import RequestError
 
@@ -25,6 +31,7 @@ __all__ = [
     "Fragment",
     "CoalescedRange",
     "VectorPlan",
+    "PartTable",
     "plan_vector",
     "scatter_parts",
     "missing_ranges",
@@ -144,21 +151,122 @@ def plan_vector(
     return VectorPlan(batches=batches, fragments=fragments)
 
 
+class PartTable:
+    """Bisect-indexed table of the parts of one multi-range response.
+
+    Each entry is ``(offset, view)`` where ``view`` is a ``memoryview``
+    over the response buffer — adding parts never copies bytes, and
+    :meth:`find` returns zero-copy slices. Entries are kept sorted by
+    offset so a lookup is O(log n) instead of the linear scan a plain
+    ``{offset: bytes}`` dict forces (O(n²) over a whole batch).
+
+    A later part at an already-present offset replaces the entry only
+    when it is at least as long (a refetch can only add coverage).
+    """
+
+    __slots__ = ("_offsets", "_views")
+
+    def __init__(self):
+        self._offsets: List[int] = []
+        self._views: List[memoryview] = []
+
+    @classmethod
+    def from_parts(cls, parts: Iterable[Tuple[int, bytes]]) -> "PartTable":
+        """Build a table from ``(offset, buffer)`` pairs."""
+        table = cls()
+        for offset, data in parts:
+            table.add(offset, data)
+        return table
+
+    @classmethod
+    def from_mapping(cls, parts: Dict[int, bytes]) -> "PartTable":
+        """Build a table from a legacy ``{offset: bytes}`` mapping."""
+        return cls.from_parts(parts.items())
+
+    def add(self, offset: int, data) -> None:
+        """Insert one part (``bytes`` or ``memoryview``) at ``offset``."""
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        index = bisect_right(self._offsets, offset)
+        if index > 0 and self._offsets[index - 1] == offset:
+            if len(view) >= len(self._views[index - 1]):
+                self._views[index - 1] = view
+            return
+        self._offsets.insert(index, offset)
+        self._views.insert(index, view)
+
+    def merge(self, other: "PartTable") -> None:
+        """Fold another table's parts into this one (refetch path)."""
+        for offset, view in zip(other._offsets, other._views):
+            self.add(offset, view)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def find(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of ``[offset, offset+length)``.
+
+        Bisects to the right-most part starting at or before ``offset``
+        (the covering part of any disjoint multi-range response); falls
+        back to a leftward scan only when parts overlap. Raises
+        :class:`~repro.errors.RequestError` when nothing covers the
+        span.
+        """
+        end = offset + length
+        index = bisect_right(self._offsets, offset) - 1
+        while index >= 0:
+            part_offset = self._offsets[index]
+            view = self._views[index]
+            if part_offset + len(view) >= end:
+                start = offset - part_offset
+                return view[start : start + length]
+            index -= 1
+        raise RequestError(
+            f"server response does not cover range [{offset}, {end})"
+        )
+
+    def covers(self, offset: int, length: int) -> bool:
+        """Does some part fully cover ``[offset, offset+length)``?"""
+        try:
+            self.find(offset, length)
+        except RequestError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        spans = ", ".join(
+            f"[{o}, {o + len(v)})"
+            for o, v in zip(self._offsets, self._views)
+        )
+        return f"<PartTable {spans}>"
+
+
+#: What the scatter side accepts: a table or the legacy mapping.
+Parts = Union[PartTable, Dict[int, bytes]]
+
+
+def _as_table(parts: Parts) -> PartTable:
+    if isinstance(parts, PartTable):
+        return parts
+    return PartTable.from_mapping(parts)
+
+
 def scatter_parts(
     plan_batch: List[CoalescedRange],
-    parts: Dict[int, bytes],
+    parts: Parts,
 ) -> Dict[int, bytes]:
     """Slice fragments out of returned parts for one batch.
 
-    ``parts`` maps part offset -> part bytes, as decoded from a
-    multipart/byteranges body (or synthesised from a 200/206 response).
-    Returns fragment ``index -> bytes``. Raises
-    :class:`~repro.errors.RequestError` if the server's parts do not
-    cover a planned range.
+    ``parts`` is a :class:`PartTable` (or a legacy ``{offset: bytes}``
+    mapping) over a multipart/byteranges body (or synthesised from a
+    200/206 response). Returns fragment ``index -> bytes`` — the
+    ``bytes(...)`` here is the *only* materialising copy on the decode →
+    scatter path. Raises :class:`~repro.errors.RequestError` if the
+    server's parts do not cover a planned range.
     """
+    table = _as_table(parts)
     out: Dict[int, bytes] = {}
     for rng in plan_batch:
-        data = _find_part(parts, rng.offset, rng.length)
+        data = table.find(rng.offset, rng.length)
         for fragment in rng.fragments:
             start = fragment.offset - rng.offset
             piece = data[start : start + fragment.length]
@@ -167,13 +275,13 @@ def scatter_parts(
                     f"server returned {len(piece)} bytes for fragment "
                     f"at {fragment.offset} (wanted {fragment.length})"
                 )
-            out[fragment.index] = piece
+            out[fragment.index] = bytes(piece)
     return out
 
 
 def missing_ranges(
     plan_batch: List[CoalescedRange],
-    parts: Dict[int, bytes],
+    parts: Parts,
 ) -> List[CoalescedRange]:
     """The planned ranges ``parts`` does not fully cover.
 
@@ -183,28 +291,18 @@ def missing_ranges(
     instead of re-reading everything — multi-range GETs are idempotent,
     so the refetch is always safe.
     """
-    missing: List[CoalescedRange] = []
-    for rng in plan_batch:
-        try:
-            _find_part(parts, rng.offset, rng.length)
-        except RequestError:
-            missing.append(rng)
-    return missing
+    table = _as_table(parts)
+    return [
+        rng
+        for rng in plan_batch
+        if not table.covers(rng.offset, rng.length)
+    ]
 
 
-def _find_part(parts: Dict[int, bytes], offset: int, length: int) -> bytes:
-    """The bytes of [offset, offset+length) from the returned parts."""
-    exact = parts.get(offset)
-    if exact is not None and len(exact) >= length:
-        return exact[:length]
-    for part_offset, data in parts.items():
-        if (
-            part_offset <= offset
-            and offset + length <= part_offset + len(data)
-        ):
-            start = offset - part_offset
-            return data[start : start + length]
-    raise RequestError(
-        f"server response does not cover range "
-        f"[{offset}, {offset + length})"
-    )
+def _find_part(parts: Parts, offset: int, length: int) -> bytes:
+    """The bytes of [offset, offset+length) from the returned parts.
+
+    Compatibility wrapper over :meth:`PartTable.find`; prefer building
+    one table per batch so lookups share the sorted index.
+    """
+    return bytes(_as_table(parts).find(offset, length))

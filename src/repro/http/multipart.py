@@ -29,7 +29,11 @@ _CRLF = b"\r\n"
 
 @dataclass(frozen=True)
 class RangePart:
-    """One part of a multipart/byteranges payload."""
+    """One part of a multipart/byteranges payload.
+
+    ``data`` is ``bytes`` from the default decode path and a zero-copy
+    ``memoryview`` from ``decode_byteranges(..., copy=False)``.
+    """
 
     offset: int
     data: bytes
@@ -92,14 +96,23 @@ def content_type_boundary(content_type: str) -> str:
     raise HttpParseError(f"no boundary in content type: {content_type!r}")
 
 
-def decode_byteranges(body: bytes, boundary: str) -> List[RangePart]:
+def decode_byteranges(
+    body: bytes, boundary: str, copy: bool = True
+) -> List[RangePart]:
     """Parse a multipart/byteranges body into its parts.
+
+    With ``copy=False`` each part's ``data`` is a zero-copy
+    ``memoryview`` slice over ``body`` (the vectored-read hot path:
+    parts feed a :class:`~repro.core.vectored.PartTable` and no byte is
+    copied until scatter materialises the user-facing fragments). The
+    default materialises ``bytes`` per part, the historical behaviour.
 
     Raises :class:`HttpParseError` on structural violations (missing
     terminator, missing Content-Range, truncated part).
     """
     delim = f"--{boundary}".encode("ascii")
     closing = delim + b"--"
+    view = memoryview(body) if not copy else None
 
     # Locate the first delimiter (a preamble is legal and ignored).
     start = body.find(delim)
@@ -132,7 +145,10 @@ def decode_byteranges(body: bytes, boundary: str) -> List[RangePart]:
         if total is None:
             raise HttpParseError("part Content-Range without total size")
 
-        data = body[cursor : cursor + length]
+        if view is not None:
+            data = view[cursor : cursor + length]
+        else:
+            data = body[cursor : cursor + length]
         if len(data) != length:
             raise HttpParseError(
                 f"truncated part: expected {length} bytes, "

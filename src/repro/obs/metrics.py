@@ -59,7 +59,13 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
 
 
 class Counter:
-    """A monotonically increasing total for one labeled series."""
+    """A monotonically increasing total for one labeled series.
+
+    Updates are guarded by a per-instrument lock: writers on different
+    pool shards (or dispatcher lanes) may increment the same series
+    concurrently, and ``+=`` on a float is not atomic under threads.
+    Reads stay lock-free — a float load is atomic enough for snapshots.
+    """
 
     kind = "counter"
 
@@ -67,12 +73,14 @@ class Counter:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the total."""
         if amount < 0:
             raise ValueError("counters only go up")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -83,7 +91,12 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value that can move both ways."""
+    """A point-in-time value that can move both ways.
+
+    Like :class:`Counter`, mutation takes a per-instrument lock so
+    concurrent ``add``/``set`` calls never lose updates; reads are
+    lock-free.
+    """
 
     kind = "gauge"
 
@@ -91,12 +104,15 @@ class Gauge:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def add(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -134,22 +150,24 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._sample: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (thread-safe)."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                break
-        else:
-            self.bucket_counts[-1] += 1
-        if len(self._sample) < _SAMPLE_CAP:
-            self._sample.append(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+            if len(self._sample) < _SAMPLE_CAP:
+                self._sample.append(value)
 
     @property
     def mean(self) -> Optional[float]:

@@ -146,3 +146,134 @@ def test_pool_invariant_acquired_sessions_are_clean(events):
                 assert not session.discarded
                 assert session not in live
                 live.append(session)
+
+
+# -- sharding, idle TTL and the reaper ----------------------------------------
+
+
+def test_shard_count_and_validation():
+    assert SessionPool().shard_count == 8
+    assert SessionPool(shards=3).shard_count == 3
+    with pytest.raises(ValueError):
+        SessionPool(shards=0)
+    with pytest.raises(ValueError):
+        SessionPool(idle_ttl=0)
+
+
+def test_shard_assignment_is_stable_and_spread():
+    pool = SessionPool(shards=4)
+    origins = [("http", f"host-{i}", 80) for i in range(64)]
+    first = [pool._shard_index(o) for o in origins]
+    assert first == [pool._shard_index(o) for o in origins]
+    # CRC32 spreads 64 distinct origins over more than one shard.
+    assert len(set(first)) > 1
+
+
+def test_stats_aggregate_across_shards():
+    pool = SessionPool(shards=4)
+    origins = [("http", f"host-{i}", 80) for i in range(8)]
+    for origin in origins:
+        pool.release(FakeSession(origin=origin))
+        assert pool.acquire(origin) is not None
+        assert pool.acquire(origin) is None
+    stats = pool.stats()
+    assert stats.recycled == 8
+    assert stats.hits == 8
+    assert stats.misses == 8
+    assert stats.idle == 0
+
+
+def test_idle_count_totals_span_shards():
+    pool = SessionPool(shards=4)
+    origins = [("http", f"host-{i}", 80) for i in range(6)]
+    for origin in origins:
+        pool.release(FakeSession(origin=origin))
+    assert pool.idle_count() == 6
+    assert pool.idle_count(origins[0]) == 1
+    assert pool.clear() == 6
+    assert pool.idle_count() == 0
+
+
+def test_idle_ttl_evicts_on_acquire():
+    clock = {"now": 0.0}
+    pool = SessionPool(idle_ttl=10.0, clock=lambda: clock["now"])
+    pool.release(FakeSession())
+    clock["now"] = 11.0
+    assert pool.acquire(ORIGIN) is None
+    assert pool.stats().evicted == 1
+
+
+def test_idle_ttl_does_not_apply_at_release():
+    """A session busy for longer than the TTL is still recyclable."""
+    clock = {"now": 100.0}
+    pool = SessionPool(idle_ttl=10.0, clock=lambda: clock["now"])
+    session = FakeSession(created_at=0.0)  # last_released = 0.0
+    pool.release(session)
+    assert pool.acquire(ORIGIN) is session
+
+
+def test_reap_drops_only_expired_lru_first():
+    clock = {"now": 0.0}
+    pool = SessionPool(idle_ttl=10.0, clock=lambda: clock["now"])
+    stale = FakeSession()
+    pool.release(stale)
+    clock["now"] = 8.0
+    fresh = FakeSession(created_at=8.0)
+    pool.release(fresh)
+    clock["now"] = 12.0  # stale parked 12s, fresh parked 4s
+    assert pool.reap() == 1
+    assert stale.discarded and not fresh.discarded
+    assert pool.idle_count() == 1
+    assert pool.reap() == 0
+
+
+def test_reap_metrics_and_shard_gauges():
+    from repro.obs import MetricsRegistry
+
+    clock = {"now": 0.0}
+    registry = MetricsRegistry()
+    pool = SessionPool(
+        idle_ttl=5.0,
+        clock=lambda: clock["now"],
+        metrics=registry,
+        shards=2,
+    )
+    origin = ("http", "gauged", 80)
+    shard = str(pool._shard_index(origin))
+    pool.release(FakeSession(origin=origin))
+    assert registry.value("pool.shard.idle", shard=shard) == 1
+    clock["now"] = 6.0
+    assert pool.reap() == 1
+    assert registry.value("pool.reaped_total") == 1
+    assert registry.value("pool.evicted_total") == 1
+    assert registry.value("pool.shard.idle", shard=shard) == 0
+    assert registry.value("pool.idle_sessions") == 0
+
+
+def test_shard_contention_counter():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    pool = SessionPool(metrics=registry, shards=2)
+    origin = ("http", "busy", 80)
+    index, shard = pool._shard_for(origin)
+    shard.lock.acquire()
+    try:
+        import threading
+
+        worker = threading.Thread(
+            target=pool.release, args=(FakeSession(origin=origin),)
+        )
+        worker.start()
+        # Give the worker time to hit the held lock.
+        import time
+
+        time.sleep(0.05)
+    finally:
+        shard.lock.release()
+    worker.join()
+    assert (
+        registry.value("pool.shard.contended_total", shard=str(index))
+        == 1
+    )
+    assert pool.stats().recycled == 1

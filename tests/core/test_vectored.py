@@ -100,6 +100,141 @@ def test_scatter_missing_coverage_raises():
         scatter_parts(plan.batches[0], {0: b"short"})
 
 
+# -- PartTable: the bisect-indexed zero-copy part lookup ---------------------
+
+
+def test_part_table_bisect_find():
+    from repro.core import PartTable
+
+    table = PartTable.from_parts(
+        [(100, b"A" * 10), (0, b"B" * 10), (50, b"C" * 10)]
+    )
+    assert len(table) == 3
+    # Exact hits, interior slices, and boundary spans.
+    assert bytes(table.find(0, 10)) == b"B" * 10
+    assert bytes(table.find(52, 3)) == b"CCC"
+    assert bytes(table.find(105, 5)) == b"AAAAA"
+
+
+def test_part_table_find_returns_memoryview_zero_copy():
+    from repro.core import PartTable
+
+    buffer = bytes(range(256))
+    table = PartTable.from_parts([(1000, buffer)])
+    view = table.find(1010, 4)
+    assert isinstance(view, memoryview)
+    assert view == buffer[10:14]
+    # Zero-copy: the view aliases the original buffer.
+    assert view.obj is buffer
+
+
+def test_part_table_uncovered_lookup_raises():
+    from repro.core import PartTable
+
+    table = PartTable.from_parts([(0, b"x" * 10), (100, b"y" * 10)])
+    for offset, length in ((5, 10), (50, 5), (95, 10), (200, 1)):
+        with pytest.raises(RequestError):
+            table.find(offset, length)
+        assert not table.covers(offset, length)
+    assert table.covers(0, 10)
+    assert table.covers(102, 8)
+
+
+def test_part_table_overlapping_parts_scan_left():
+    from repro.core import PartTable
+
+    # A long early part covers a span the nearest (short) part cannot.
+    table = PartTable.from_parts([(0, b"L" * 100), (40, b"S" * 5)])
+    assert bytes(table.find(40, 30)) == b"L" * 30
+
+
+def test_part_table_same_offset_keeps_longest():
+    from repro.core import PartTable
+
+    table = PartTable.from_parts([(10, b"long-part")])
+    table.add(10, b"x")  # shorter: ignored
+    assert bytes(table.find(10, 9)) == b"long-part"
+    table.add(10, b"even-longer-part")
+    assert bytes(table.find(10, 16)) == b"even-longer-part"
+    assert len(table) == 1
+
+
+def test_part_table_merge_refetch_path():
+    from repro.core import PartTable
+
+    table = PartTable.from_parts([(0, b"a" * 8)])
+    more = PartTable.from_parts([(100, b"b" * 8), (0, b"a" * 16)])
+    table.merge(more)
+    assert bytes(table.find(0, 16)) == b"a" * 16
+    assert bytes(table.find(100, 8)) == b"b" * 8
+
+
+def test_part_table_from_mapping_and_legacy_scatter():
+    from repro.core import PartTable
+
+    plan = plan_vector([(0, 5), (20, 5)], gap=0)
+    table = PartTable.from_mapping({0: b"AAAAA", 20: b"BBBBB"})
+    assert scatter_parts(plan.batches[0], table) == {
+        0: b"AAAAA",
+        1: b"BBBBB",
+    }
+
+
+def test_missing_ranges_with_table():
+    from repro.core import PartTable, missing_ranges
+
+    plan = plan_vector([(0, 10), (100, 10)], gap=0)
+    table = PartTable.from_parts([(0, b"z" * 10)])
+    missing = missing_ranges(plan.batches[0], table)
+    assert [rng.offset for rng in missing] == [100]
+    table.add(100, b"z" * 10)
+    assert missing_ranges(plan.batches[0], table) == []
+
+
+def test_find_part_compat_wrapper():
+    from repro.core.vectored import _find_part
+
+    assert _find_part({0: b"0123456789"}, 2, 4) == b"2345"
+    with pytest.raises(RequestError):
+        _find_part({0: b"0123"}, 2, 4)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5000),
+            st.integers(min_value=1, max_value=64),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_part_table_find_matches_linear_scan(spans):
+    """The bisect lookup agrees with a brute-force linear scan."""
+    from repro.core import PartTable
+
+    content = bytes(i % 251 for i in range(6000))
+    parts = [(o, content[o : o + n]) for o, n in spans]
+    table = PartTable.from_parts(parts)
+    probes = [(o, n) for o, n in spans] + [
+        (o + 1, n) for o, n in spans
+    ]
+    for offset, length in probes:
+        linear = next(
+            (
+                data[offset - part_offset :][:length]
+                for part_offset, data in parts
+                if part_offset <= offset
+                and offset + length <= part_offset + len(data)
+            ),
+            None,
+        )
+        if linear is None:
+            assert not table.covers(offset, length)
+        else:
+            assert bytes(table.find(offset, length)) == linear
+
+
 reads_strategy = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=10**6),

@@ -46,6 +46,30 @@ def test_binary_data_with_crlf_and_boundary_like_content():
     assert decode_byteranges(body, "B") == parts
 
 
+def test_decode_zero_copy_views():
+    """``copy=False`` hands back memoryview slices over the body."""
+    parts = [
+        RangePart(offset=0, data=b"hello", total=100),
+        RangePart(offset=50, data=b"world!", total=100),
+    ]
+    boundary = make_boundary()
+    body = encode_byteranges(parts, boundary)
+    decoded = decode_byteranges(body, boundary, copy=False)
+    assert [(p.offset, p.total) for p in decoded] == [(0, 100), (50, 100)]
+    for original, part in zip(parts, decoded):
+        assert isinstance(part.data, memoryview)
+        assert bytes(part.data) == original.data
+        # Zero-copy: every view aliases the one response buffer.
+        assert part.data.obj is body
+
+
+def test_decode_copy_default_returns_bytes():
+    parts = [RangePart(offset=0, data=b"data", total=4)]
+    body = encode_byteranges(parts, "B")
+    decoded = decode_byteranges(body, "B")
+    assert all(isinstance(p.data, bytes) for p in decoded)
+
+
 def test_preamble_is_ignored():
     parts = [RangePart(offset=0, data=b"data", total=4)]
     body = b"ignore this preamble\r\n" + encode_byteranges(parts, "B")

@@ -110,9 +110,13 @@ def test_pread_vec_span_parents_requests():
     client.pread_vec("http://server/obj", [(0, 16), (65536, 16)])
     tracer = client.tracer()
     (vec,) = tracer.by_name("pread-vec")
+    batches = tracer.by_name("vec-batch")
+    assert batches
+    assert all(b.parent_id == vec.span_id for b in batches)
+    batch_ids = {b.span_id for b in batches}
     requests = tracer.by_name("request")
     assert requests
-    assert all(r.parent_id == vec.span_id for r in requests)
+    assert all(r.parent_id in batch_ids for r in requests)
 
 
 def test_server_side_metrics_via_accesslog():

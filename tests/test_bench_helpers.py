@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench import PAPER_FIG4, ratio, render_table, summarize
+from repro.bench import (
+    PAPER_FIG4,
+    percentile,
+    ratio,
+    render_table,
+    sample_summary,
+    summarize,
+)
 
 
 def test_summarize():
@@ -28,6 +35,71 @@ def test_summarize_empty_rejected():
 def test_ratio():
     assert ratio(10, 4) == 2.5
     assert ratio(1, 0) == float("inf")
+
+
+def test_percentile_interpolation():
+    data = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(data, 0) == 10.0
+    assert percentile(data, 100) == 40.0
+    assert percentile(data, 50) == 25.0
+    # Linear interpolation between rank 2.85 -> 30 + 0.85 * 10.
+    assert percentile(data, 95) == pytest.approx(38.5)
+    assert percentile([7.0], 95) == 7.0
+    # Order must not matter.
+    assert percentile([40.0, 10.0, 30.0, 20.0], 50) == 25.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_sample_summary_schema():
+    summary = sample_summary([1, 2, 3, 4])
+    assert set(summary) == {"mean", "p50", "p95", "n"}
+    assert summary["mean"] == 2.5
+    assert summary["p50"] == 2.5
+    assert summary["n"] == 4.0
+    with pytest.raises(ValueError):
+        sample_summary([])
+
+
+def test_emit_writes_json_artifact(tmp_path, monkeypatch, capsys):
+    import importlib.util
+    import json
+    import pathlib
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_util",
+        pathlib.Path(__file__).parent.parent / "benchmarks" / "_util.py",
+    )
+    util = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(util)
+    monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+
+    util.emit(
+        "demo",
+        "Demo",
+        ["config", "time", "reqs"],
+        [["a", 1.5, 10], ["b", 0.5, 2]],
+        note="n",
+        params={"size": 4096},
+        configs={"a": [1.5, 1.7], "b": {"samples": [0.5], "reqs": 2}},
+    )
+    payload = json.loads((tmp_path / "BENCH_demo.json").read_text())
+    assert payload["bench"] == "demo"
+    assert payload["params"] == {"size": 4096}
+    assert payload["configs"]["a"]["summary"]["mean"] == pytest.approx(1.6)
+    assert payload["configs"]["b"]["reqs"] == 2
+    assert (tmp_path / "demo.txt").exists()
+
+    # Without explicit configs, a per-row view is derived.
+    util.emit("derived", "D", ["cfg", "x"], [["row", 2.0]])
+    derived = json.loads((tmp_path / "BENCH_derived.json").read_text())
+    assert derived["configs"]["row"]["samples"] == [2.0]
+    assert derived["configs"]["row"]["summary"]["p95"] == 2.0
 
 
 def test_render_table_alignment():

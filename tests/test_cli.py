@@ -86,6 +86,65 @@ def test_get_with_failover_flag(live):
     assert code == 0
 
 
+def test_vec_summary_output(live):
+    base, store, app = live
+    store.put("/big", bytes(range(256)) * 256)
+    code, output = run_cli(
+        ["vec", f"{base}/big", "0:16", "1024:32", "4096:8"]
+    )
+    assert code == 0
+    assert "0:16 -> 16 bytes" in output
+    assert "1024:32 -> 32 bytes" in output
+    assert "4096:8 -> 8 bytes" in output
+    assert "round trips: 1" in output
+
+
+def test_vec_output_file_and_parallel_flags(live, tmp_path):
+    base, store, app = live
+    payload = bytes(range(256)) * 256
+    store.put("/big", payload)
+    target = tmp_path / "frags.bin"
+    code, output = run_cli(
+        [
+            "--parallel",
+            "--max-inflight",
+            "2",
+            "vec",
+            f"{base}/big",
+            "0:16",
+            "65000:32",
+            "-o",
+            str(target),
+        ]
+    )
+    assert code == 0
+    assert target.read_bytes() == payload[0:16] + payload[65000:65032]
+    assert "48 bytes (2 fragments)" in output
+
+
+def test_vec_rejects_malformed_range(live):
+    base, store, app = live
+    with pytest.raises(SystemExit):
+        run_cli(["vec", f"{base}/big", "banana"])
+
+
+def test_parallel_flag_sets_params():
+    from repro.cli import _client
+
+    args = build_parser().parse_args(["--parallel", "stats"])
+    client = _client(args)
+    assert client.context.params.vector_max_inflight == 4
+    assert client.context.params.multistream_max_streams == 4
+
+    args = build_parser().parse_args(["--max-inflight", "7", "stats"])
+    client = _client(args)
+    assert client.context.params.vector_max_inflight == 7
+
+    args = build_parser().parse_args(["stats"])
+    client = _client(args)
+    assert client.context.params.vector_max_inflight == 1
+
+
 def test_main_reports_errors(live, capsys):
     base, store, app = live
     assert main(["stat", f"{base}/missing"]) == 1
