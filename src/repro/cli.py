@@ -222,6 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the span tree / span records",
     )
 
+    report = commands.add_parser(
+        "report",
+        help="render a HammerCloud-style summary from a JSONL event log",
+    )
+    report.add_argument(
+        "events",
+        help="path to a wide-event JSONL file ('-' for stdin)",
+    )
+    report.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.99,
+        metavar="FRACTION",
+        help="availability objective (default: 0.99)",
+    )
+    report.add_argument(
+        "--slo-latency",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="latency threshold in seconds (default: 0.5)",
+    )
+    report.add_argument(
+        "--slo-latency-objective",
+        type=float,
+        default=0.95,
+        metavar="FRACTION",
+        help="fraction of requests that must meet it (default: 0.95)",
+    )
+
     return parser
 
 
@@ -521,6 +551,26 @@ def cmd_stats(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_report(args, out=sys.stdout) -> int:
+    """Render the HammerCloud-style run summary from a JSONL log."""
+    from repro.obs.events import parse_json_lines
+    from repro.obs.slo import SloPolicy
+    from repro.workloads.report import render_report
+
+    if args.events == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.events) as handle:
+            text = handle.read()
+    policy = SloPolicy(
+        availability=args.slo_availability,
+        latency_threshold=args.slo_latency,
+        latency_objective=args.slo_latency_objective,
+    )
+    out.write(render_report(parse_json_lines(text), policy=policy))
+    return 0
+
+
 COMMANDS = {
     "get": cmd_get,
     "vec": cmd_vec,
@@ -533,6 +583,7 @@ COMMANDS = {
     "copy": cmd_copy,
     "serve": cmd_serve,
     "stats": cmd_stats,
+    "report": cmd_report,
 }
 
 

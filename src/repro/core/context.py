@@ -21,7 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.pool import SessionPool
 from repro.net.tcp import TcpOptions
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import EventLog, MetricsRegistry, SloTracker, Tracer
 from repro.resilience import BreakerBoard, BreakerConfig, RetryPolicy
 
 __all__ = ["MetalinkMode", "RequestParams", "Context"]
@@ -70,6 +70,11 @@ class RequestParams:
     #: Retry a request whose method is non-idempotent even when it may
     #: already have reached the server (default: never).
     retry_non_idempotent: bool = False
+
+    # -- observability --------------------------------------------------------
+    #: Send a W3C-style ``Traceparent`` header on every request so
+    #: server-side spans and access-log records join the client trace.
+    trace_propagation: bool = True
 
     # -- vectored I/O (Section 2.3) -------------------------------------------
     #: Maximum range-specs packed into one multi-range request.
@@ -174,6 +179,8 @@ class Context:
         breaker: Optional[BreakerConfig] = None,
         pool_shards: int = 8,
         pool_idle_ttl: Optional[float] = None,
+        events: Optional[EventLog] = None,
+        slo: Optional[SloTracker] = None,
     ):
         self.params = params or RequestParams()
         #: Injected time source (simulated or monotonic); settable so
@@ -186,6 +193,12 @@ class Context:
         self.tracer = tracer if tracer is not None else Tracer(
             clock=self._now
         )
+        #: The wide-event log: one structured record per finished
+        #: request (and whatever workloads append), exported as JSONL.
+        self.events = events if events is not None else EventLog()
+        #: Per-origin SLO / error-budget bookkeeping, fed by every
+        #: terminal response on this context.
+        self.slo = slo if slo is not None else SloTracker()
         self.pool = SessionPool(
             max_idle_per_origin=pool_max_per_origin,
             clock=self._now,

@@ -354,6 +354,7 @@ class DavFile:
         if response.status == 206:
             content_type = response.content_type
             if content_type.lower().startswith("multipart/byteranges"):
+                decode_started = self.context.clock()
                 try:
                     boundary = content_type_boundary(content_type)
                     parts = decode_byteranges(
@@ -363,6 +364,12 @@ class DavFile:
                     raise RequestError(
                         f"bad multipart response: {exc}"
                     ) from exc
+                decode_seconds = self.context.clock() - decode_started
+                self.context.metrics.histogram(
+                    "request.phase_seconds", phase="multipart-decode"
+                ).observe(decode_seconds)
+                if parent_span is not None:
+                    parent_span.set(multipart_decode=decode_seconds)
                 return PartTable.from_parts(
                     (part.offset, part.data) for part in parts
                 )

@@ -49,6 +49,8 @@ from repro.errors import (
 from repro.http import Request, Response, Url
 from repro.http.status import is_redirect, is_retriable
 from repro.net.tcp import TcpOptions
+from repro.obs.phases import PhaseRecorder
+from repro.obs.propagation import format_span_id, format_trace_id
 from repro.resilience import Deadline, is_idempotent
 
 __all__ = ["execute_request", "checkout_session"]
@@ -76,6 +78,7 @@ def checkout_session(
     parent_span=None,
     deadline: Optional[Deadline] = None,
     breakers=None,
+    recorder=None,
 ):
     """Effect sub-op: a session for ``url`` (pooled or freshly opened).
 
@@ -99,6 +102,8 @@ def checkout_session(
         deadline.check()
     session = context.pool.acquire(origin)
     if session is not None:
+        if recorder is not None:
+            recorder.mark("queue-wait")
         session.metrics = context.metrics
         return session
     tcp_options = params.tcp_options
@@ -113,6 +118,8 @@ def checkout_session(
 
         tls = params.tls if params.tls is not None else TlsPolicy()
     started = context.clock()
+    if recorder is not None:
+        recorder.mark("queue-wait")
     session = yield from open_session(
         origin,
         (url.host, url.port),
@@ -122,6 +129,7 @@ def checkout_session(
         tracer=context.tracer,
         parent=parent_span,
         metrics=context.metrics,
+        recorder=recorder,
     )
     context.metrics.counter("session.connect_total").inc()
     context.metrics.histogram("session.connect_seconds").observe(
@@ -233,9 +241,50 @@ def execute_request(
     breakers = context.breakers if params.breaker_enabled else None
     current = url
     redirects = 0
+    started = context.clock()
     span = context.tracer.start(
         "request", parent=parent_span, method=request.method, url=str(url)
     )
+    # Created at the same instant as the span, so the phase deltas sum
+    # to the span's duration (the last mark lands just before the
+    # success return, which is also when the span ends on the sim
+    # clock). Marks accumulate across retries and redirects: a backoff
+    # sleep is charged to the following attempt's queue-wait.
+    recorder = PhaseRecorder(context.clock)
+
+    def finish(response: Response) -> None:
+        """Record the per-request telemetry at a terminal response."""
+        timings = recorder.timings()
+        span.set(status=response.status, timings=timings)
+        phases = timings.as_dict()
+        for phase, seconds in phases.items():
+            context.metrics.histogram(
+                "request.phase_seconds", phase=phase
+            ).observe(seconds)
+        duration = context.clock() - started
+        origin_name = f"{current.host}:{current.port}"
+        context.slo.record(
+            origin_name, duration, ok=response.status < 500
+        )
+        context.events.emit(
+            "request",
+            side="client",
+            ts=started,
+            method=request.method,
+            url=str(url),
+            host=current.host,
+            origin=origin_name,
+            status=response.status,
+            duration=duration,
+            retries=schedule.retries,
+            redirects=redirects,
+            trace_id=format_trace_id(span.trace_id),
+            span_id=format_span_id(span.span_id),
+            **{
+                "phase_" + phase.replace("-", "_"): seconds
+                for phase, seconds in phases.items()
+            },
+        )
 
     try:
         while True:
@@ -249,6 +298,7 @@ def execute_request(
                     parent_span=acquire_span,
                     deadline=deadline,
                     breakers=breakers,
+                    recorder=recorder,
                 )
             except (CircuitOpenError, DeadlineExceeded):
                 # Final: an open breaker fails fast (the fail-over
@@ -285,6 +335,7 @@ def execute_request(
                     sink_factory,
                     exchange_span,
                     deadline,
+                    recorder=recorder,
                 )
             except StaleSession:
                 # The request never reached the application: always
@@ -348,13 +399,13 @@ def execute_request(
                     continue
                 # Budget spent: hand the error response to the caller
                 # (it maps statuses to its own exceptions).
-                span.set(status=response.status)
+                finish(response)
                 return response, current
 
             if breakers is not None:
                 breakers.record(origin, ok=True)
             context.pool.release(session)
-            span.set(status=response.status)
+            finish(response)
             return response, current
     finally:
         span.end()
@@ -367,6 +418,7 @@ def _session_exchange(
     sink_factory,
     span=None,
     deadline: Optional[Deadline] = None,
+    recorder=None,
 ):
     """One exchange on one session, with late sink selection."""
     if sink_factory is None:
@@ -375,6 +427,8 @@ def _session_exchange(
             timeout=params.operation_timeout,
             span=span,
             deadline=deadline,
+            recorder=recorder,
+            propagate=params.trace_propagation,
         )
         return response
     response = yield from session.request(
@@ -383,5 +437,7 @@ def _session_exchange(
         timeout=params.operation_timeout,
         span=span,
         deadline=deadline,
+        recorder=recorder,
+        propagate=params.trace_propagation,
     )
     return response

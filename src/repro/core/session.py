@@ -117,6 +117,8 @@ class Session:
         timeout: Optional[float] = None,
         span=None,
         deadline=None,
+        recorder=None,
+        propagate: bool = True,
     ):
         """Effect sub-op: send ``request``, read the full response.
 
@@ -126,13 +128,24 @@ class Session:
         to stream (it receives the head and returns a sink or ``None``)
         — needed so redirect/error bodies are buffered, not streamed.
         ``span`` (when given) becomes the parent of ``send``/``recv``
-        child spans covering the two wire phases. ``deadline`` (a
+        child spans covering the two wire phases, and — with
+        ``propagate`` — its trace/span IDs ride to the server in a
+        ``Traceparent`` header, so server-side spans and access-log
+        records join the client's trace. ``recorder`` (a
+        :class:`~repro.obs.PhaseRecorder`) receives the wire phase
+        marks: ``request-write`` when the request is on the wire,
+        ``ttfb`` at the first response byte, ``body-transfer`` when the
+        body completes. ``deadline`` (a
         :class:`~repro.resilience.Deadline`) bounds every read: each
         ``Recv`` timeout is clamped to the remaining budget and expiry
         raises :class:`~repro.errors.DeadlineExceeded`.
         Raises :class:`StaleSession` when a *reused* connection turns
         out dead before the status line arrives.
         """
+        if propagate and span is not None:
+            from repro.obs.propagation import inject_traceparent
+
+            inject_traceparent(request.headers, span)
         parser = HttpParser("client")
         parser.expect_response_to(request.method)
         wire = serialize_request(request)
@@ -156,9 +169,12 @@ class Session:
         finally:
             if send_span:
                 send_span.end()
+        if recorder is not None:
+            recorder.mark("request-write")
 
         recv_span = span.child("recv") if span else None
         received = 0
+        first_byte = False
         head: Optional[Response] = None
         # Body chunks are joined once at the end — one copy total,
         # instead of the grow-then-copy a bytearray would pay.
@@ -186,6 +202,10 @@ class Session:
                         raise
                     self.bytes_received += len(data)
                     received += len(data)
+                    if data and not first_byte:
+                        first_byte = True
+                        if recorder is not None:
+                            recorder.mark("ttfb")
                     if self.tls is not None and data:
                         yield Sleep(self.tls.record_cost(len(data)))
                     parser.receive_data(data)
@@ -207,6 +227,8 @@ class Session:
                     else:
                         chunks.append(event.data)
                 elif isinstance(event, EndOfMessage):
+                    if recorder is not None:
+                        recorder.mark("body-transfer")
                     break
         finally:
             if self.metrics is not None and received:
@@ -232,12 +254,14 @@ def open_session(
     tracer=None,
     parent=None,
     metrics=None,
+    recorder=None,
 ):
     """Effect sub-op: connect (and TLS-handshake) into a Session.
 
     With a ``tracer``, the TCP connect and the TLS handshake each get
     their own span under ``parent`` — the two setup costs the paper's
-    keep-alive argument is about.
+    keep-alive argument is about. A ``recorder`` gets the matching
+    ``connect`` / ``tls`` phase marks.
     """
     span = (
         tracer.start("tcp-connect", parent=parent)
@@ -249,6 +273,8 @@ def open_session(
     finally:
         if span:
             span.end()
+    if recorder is not None:
+        recorder.mark("connect")
     if tls is not None:
         handshake_span = (
             tracer.start("tls-handshake", parent=parent)
@@ -260,6 +286,8 @@ def open_session(
         finally:
             if handshake_span:
                 handshake_span.end()
+        if recorder is not None:
+            recorder.mark("tls")
     return Session(
         channel, url_origin, created_at=now, tls=tls, metrics=metrics
     )

@@ -1,19 +1,34 @@
-"""Observability layer: metrics registry, request tracing, exporters.
+"""Observability layer: metrics, tracing, propagation, events, SLOs.
 
 The composition point is :class:`~repro.core.context.Context` — it owns
-one :class:`MetricsRegistry` and one :class:`Tracer` and every layer on
-the request path (pool, session, vectored I/O, failover, multistream)
-records into them; the server side (:class:`~repro.server.handlers.
-StorageApp`, :class:`~repro.server.accesslog.AccessLog`) accepts a
-registry of its own so both ends of a simulated run are visible.
-See ``docs/OBSERVABILITY.md`` for the metric names and span hierarchy.
+one :class:`MetricsRegistry`, one :class:`Tracer`, one :class:`EventLog`
+and one :class:`SloTracker`, and every layer on the request path (pool,
+session, vectored I/O, failover, multistream) records into them; the
+server side (:class:`~repro.server.handlers.StorageApp`,
+:class:`~repro.server.accesslog.AccessLog`) accepts its own registry,
+tracer and event log so both ends of a simulated run are visible — and
+*joinable*, because the client propagates a W3C-style ``Traceparent``
+header (:mod:`repro.obs.propagation`) that the server threads into its
+spans, access-log records and wide events. Per-request phase
+breakdowns live in :mod:`repro.obs.phases`, sliding-window aggregation
+in :mod:`repro.obs.window`, SLO/error-budget tracking in
+:mod:`repro.obs.slo`. See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.events import (
+    EventLog,
+    event_to_json,
+    events_to_json_lines,
+    parse_json_lines,
+)
 from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
     metrics_to_json_lines,
+    prometheus_exposition,
     render_metrics,
     render_span_tree,
     spans_to_json_lines,
+    window_to_prometheus,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -22,7 +37,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.phases import PHASES, PhaseRecorder, RequestTimings
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    format_span_id,
+    format_trace_id,
+    format_traceparent,
+    inject_traceparent,
+    parse_traceparent,
+)
+from repro.obs.slo import OriginSlo, SloPolicy, SloTracker
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
+from repro.obs.window import RollingHistogram, WindowSnapshot
 
 __all__ = [
     "Counter",
@@ -33,8 +60,30 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "format_trace_id",
+    "format_span_id",
+    "format_traceparent",
+    "parse_traceparent",
+    "inject_traceparent",
+    "PHASES",
+    "PhaseRecorder",
+    "RequestTimings",
+    "EventLog",
+    "event_to_json",
+    "events_to_json_lines",
+    "parse_json_lines",
+    "RollingHistogram",
+    "WindowSnapshot",
+    "SloPolicy",
+    "OriginSlo",
+    "SloTracker",
     "render_metrics",
     "metrics_to_json_lines",
+    "prometheus_exposition",
+    "window_to_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "render_span_tree",
     "spans_to_json_lines",
 ]

@@ -290,6 +290,64 @@ class MetricsRegistry:
                 out[key] = instrument.value
         return out
 
+    # -- aggregation ----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s series into this registry; returns self.
+
+        The per-shard / per-worker aggregation primitive: each of
+        ``other``'s labeled series is combined into the series with the
+        *same* name and label set here (created on demand), so distinct
+        label sets never collide. Counters and gauges add; histograms
+        sum bucket counts exactly (same bucket bounds required), add
+        ``count``/``sum``, widen min/max and concatenate the percentile
+        samples up to the cap. A name registered with different kinds
+        on the two sides raises ``ValueError``.
+        """
+        for instrument in other.series():
+            labels = dict(instrument.labels)
+            if instrument.kind == "counter":
+                self.counter(instrument.name, **labels).inc(
+                    instrument.value
+                )
+            elif instrument.kind == "gauge":
+                self.gauge(instrument.name, **labels).add(
+                    instrument.value
+                )
+            else:
+                self._merge_histogram(instrument, labels)
+        return self
+
+    def _merge_histogram(self, theirs: Histogram, labels: Dict[str, str]):
+        mine = self.histogram(
+            theirs.name, buckets=theirs.buckets, **labels
+        )
+        if mine.buckets != theirs.buckets:
+            raise ValueError(
+                f"histogram {theirs.name!r}: bucket bounds differ "
+                f"({mine.buckets} vs {theirs.buckets})"
+            )
+        with mine._lock:
+            for index, bucket_count in enumerate(theirs.bucket_counts):
+                mine.bucket_counts[index] += bucket_count
+            mine.count += theirs.count
+            mine.sum += theirs.sum
+            if theirs.min is not None:
+                mine.min = (
+                    theirs.min
+                    if mine.min is None
+                    else min(mine.min, theirs.min)
+                )
+            if theirs.max is not None:
+                mine.max = (
+                    theirs.max
+                    if mine.max is None
+                    else max(mine.max, theirs.max)
+                )
+            room = _SAMPLE_CAP - len(mine._sample)
+            if room > 0:
+                mine._sample.extend(theirs._sample[:room])
+
     def reset(self) -> None:
         """Drop every family (used between benchmark cases)."""
         with self._lock:

@@ -1,0 +1,134 @@
+"""Per-request phase profiling: where one request's time goes.
+
+The paper's Figure 2 (keep-alive amortising connection setup) and
+Figure 3 (vectored reads collapsing range round trips) are claims about
+*phases* of a request, not its total. Every request therefore records a
+:class:`RequestTimings` breakdown:
+
+============== =====================================================
+queue-wait      entering the engine until a session is in hand
+                (pool checkout, breaker/deadline checks, and — on
+                retries — the backoff sleep before the next attempt)
+connect         TCP connect of a fresh session (0 on a pool hit)
+tls             TLS handshake of a fresh session (0 for plain http)
+request-write   serialising and sending the request bytes
+ttfb            request sent until the first response byte arrives
+body-transfer   first response byte until the body completes
+multipart-decode decoding a multipart/byteranges body into parts
+                (recorded by the vectored-read layer)
+============== =====================================================
+
+The mechanics are a :class:`PhaseRecorder`: the request path drops a
+*mark* at each phase boundary and the interval since the previous mark
+is attributed to the marked phase. Marks are cumulative across
+redirects and retries, so the phases of one logical request always sum
+to the enclosing ``request`` span's duration (exactly, on the
+simulated clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["PHASES", "RequestTimings", "PhaseRecorder"]
+
+#: Canonical phase order (label form, as used in metric labels).
+PHASES = (
+    "queue-wait",
+    "connect",
+    "tls",
+    "request-write",
+    "ttfb",
+    "body-transfer",
+    "multipart-decode",
+)
+
+
+def _field_name(phase: str) -> str:
+    return phase.replace("-", "_")
+
+
+@dataclass(frozen=True)
+class RequestTimings:
+    """Seconds spent in each phase of one request."""
+
+    queue_wait: float = 0.0
+    connect: float = 0.0
+    tls: float = 0.0
+    request_write: float = 0.0
+    ttfb: float = 0.0
+    body_transfer: float = 0.0
+    multipart_decode: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of every phase (== the request span's duration)."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, float]:
+        """``phase-label -> seconds`` in canonical phase order."""
+        return {
+            phase: getattr(self, _field_name(phase)) for phase in PHASES
+        }
+
+    def __repr__(self) -> str:
+        inner = " ".join(
+            f"{phase}={value:.6f}"
+            for phase, value in self.as_dict().items()
+            if value
+        )
+        return f"<RequestTimings {inner or 'empty'}>"
+
+
+class PhaseRecorder:
+    """Accumulates phase marks against an injected clock.
+
+    ``mark(phase)`` attributes the time since the previous mark (or
+    since construction) to ``phase``; repeated marks of one phase add
+    up, which is what makes redirect- and retry-crossing requests sum
+    correctly. The recorder never calls ``time`` itself — the request
+    engine hands in the context clock, so simulated requests profile in
+    simulated seconds.
+    """
+
+    __slots__ = ("clock", "_last", "_elapsed")
+
+    def __init__(self, clock: Callable[[], float]):
+        self.clock = clock
+        self._last = clock()
+        self._elapsed: Dict[str, float] = {}
+
+    def mark(self, phase: str) -> float:
+        """Close the interval since the last mark into ``phase``."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}")
+        now = self.clock()
+        delta = now - self._last
+        self._last = now
+        self._elapsed[phase] = self._elapsed.get(phase, 0.0) + delta
+        return delta
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` to ``phase`` without moving the mark
+        (used for phases measured out-of-band, e.g. multipart decode)."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}")
+        self._elapsed[phase] = self._elapsed.get(phase, 0.0) + seconds
+
+    def elapsed(self) -> List[Tuple[str, float]]:
+        """Recorded ``(phase, seconds)`` pairs in canonical order."""
+        return [
+            (phase, self._elapsed[phase])
+            for phase in PHASES
+            if phase in self._elapsed
+        ]
+
+    def timings(self) -> RequestTimings:
+        """Freeze the accumulated marks into a :class:`RequestTimings`."""
+        return RequestTimings(
+            **{
+                _field_name(phase): seconds
+                for phase, seconds in self._elapsed.items()
+            }
+        )

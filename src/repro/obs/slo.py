@@ -1,0 +1,132 @@
+"""Per-origin SLO and error-budget tracking.
+
+HammerCloud's verdict on a site is not a mean — it is "did the site
+meet its objectives over the run". An :class:`SloPolicy` states the
+objectives (availability, and a latency threshold a given fraction of
+requests must beat); an :class:`SloTracker` folds every request's
+``(origin, duration, ok)`` outcome into per-origin tallies and renders
+verdicts with the remaining error budget.
+
+Error budget: with an availability objective of 99 %, 1 % of requests
+may fail — the *budget*. ``budget_remaining`` is the unspent fraction
+of it (1.0 = untouched, 0.0 = exhausted, negative = overspent), the
+number operators page on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SloPolicy", "OriginSlo", "SloTracker"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The objectives one origin is held to."""
+
+    #: Fraction of requests that must succeed (no 5xx / transport error).
+    availability: float = 0.99
+    #: Latency threshold in seconds...
+    latency_threshold: float = 0.5
+    #: ...that this fraction of requests must meet.
+    latency_objective: float = 0.95
+
+    def __post_init__(self):
+        for name in ("availability", "latency_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be > 0 seconds")
+
+
+@dataclass
+class OriginSlo:
+    """Running tallies of one origin against a policy."""
+
+    origin: str
+    policy: SloPolicy
+    requests: int = 0
+    errors: int = 0
+    slow: int = 0
+    durations: List[float] = field(default_factory=list)
+
+    def record(self, duration: float, ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        if duration > self.policy.latency_threshold:
+            self.slow += 1
+        self.durations.append(float(duration))
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        if not self.requests:
+            return 1.0
+        return 1.0 - self.errors / self.requests
+
+    @property
+    def latency_attainment(self) -> float:
+        """Fraction of requests that met the latency threshold."""
+        if not self.requests:
+            return 1.0
+        return 1.0 - self.slow / self.requests
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.durations:
+            return None
+        ordered = sorted(self.durations)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def budget_remaining(self) -> float:
+        """Unspent fraction of the availability error budget."""
+        budget = 1.0 - self.policy.availability
+        if not self.requests or budget <= 0:
+            return 1.0 if not self.errors else float("-inf")
+        spent = (self.errors / self.requests) / budget
+        return 1.0 - spent
+
+    @property
+    def availability_ok(self) -> bool:
+        return self.availability >= self.policy.availability
+
+    @property
+    def latency_ok(self) -> bool:
+        return self.latency_attainment >= self.policy.latency_objective
+
+    @property
+    def verdict(self) -> str:
+        """``OK`` when every objective holds, else ``BREACH``."""
+        return "OK" if self.availability_ok and self.latency_ok else "BREACH"
+
+
+class SloTracker:
+    """Folds request outcomes into per-origin SLO state."""
+
+    def __init__(self, policy: Optional[SloPolicy] = None):
+        self.policy = policy or SloPolicy()
+        self._origins: Dict[str, OriginSlo] = {}
+
+    def record(self, origin: str, duration: float, ok: bool) -> None:
+        """Fold one request outcome into ``origin``'s tallies."""
+        state = self._origins.get(origin)
+        if state is None:
+            state = OriginSlo(origin=origin, policy=self.policy)
+            self._origins[origin] = state
+        state.record(duration, ok)
+
+    def origin(self, origin: str) -> Optional[OriginSlo]:
+        return self._origins.get(origin)
+
+    def origins(self) -> List[OriginSlo]:
+        """Every tracked origin, sorted by name (deterministic)."""
+        return [self._origins[name] for name in sorted(self._origins)]
+
+    def __len__(self) -> int:
+        return len(self._origins)

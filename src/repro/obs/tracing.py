@@ -166,26 +166,36 @@ class Tracer:
         name: str,
         parent: Optional[Span] = None,
         root: bool = False,
+        remote=None,
         **attrs,
     ) -> Span:
         """Begin a span; default parent is the current innermost span.
 
         ``root=True`` forces a new trace (use it for spans started from
-        concurrently interleaved simulator tasks).
+        concurrently interleaved simulator tasks). ``remote`` (a
+        :class:`~repro.obs.propagation.TraceContext`) joins a trace
+        propagated from another process: the span adopts the remote
+        trace ID and parents to the remote span ID, ignoring the local
+        stack — this is how server-side spans continue a client's
+        story.
         """
         if not self.enabled:
             return NULL_SPAN
-        if parent is None and not root and self._stack:
-            parent = self._stack[-1]
-        if isinstance(parent, _NullSpan):
-            parent = None
-        if parent is None:
-            trace_id = self._next_trace_id
-            self._next_trace_id += 1
-            parent_id = None
+        if remote is not None:
+            trace_id = remote.trace_id
+            parent_id = remote.span_id
         else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
+            if parent is None and not root and self._stack:
+                parent = self._stack[-1]
+            if isinstance(parent, _NullSpan):
+                parent = None
+            if parent is None:
+                trace_id = self._next_trace_id
+                self._next_trace_id += 1
+                parent_id = None
+            else:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
         span = Span(
             tracer=self,
             name=name,

@@ -1,0 +1,144 @@
+"""Sliding-window aggregation: rolling histograms over recent time.
+
+A cumulative :class:`~repro.obs.metrics.Histogram` answers "since the
+start of the run"; operators watching a 12-day HammerCloud campaign
+need "over the last minute". :class:`RollingHistogram` keeps a ring of
+bucketed sub-window slices and merges the live ones on read, so the
+window slides in ``window/slices`` granularity with O(buckets) memory
+per slice and no per-observation allocation.
+
+Like every timing component in this codebase the clock is injected —
+simulated runs roll their windows in simulated seconds, deterministic
+per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+__all__ = ["WindowSnapshot", "RollingHistogram"]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Merged view of the observations inside the sliding window."""
+
+    count: int
+    sum: float
+    buckets: Tuple[float, ...]
+    bucket_counts: Tuple[int, ...]
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile: the upper bound of the bucket
+        the q-th observation falls in (conservative, Prometheus-style);
+        None when the window is empty, ``inf`` in the overflow bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return None
+        rank = q * self.count
+        seen = 0
+        for bound, bucket_count in zip(self.buckets, self.bucket_counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                return bound
+        return float("inf")
+
+
+class RollingHistogram:
+    """Bucketed observations over a sliding time window.
+
+    ``window`` seconds are covered by ``slices`` equal sub-windows;
+    an observation lands in the slice of its timestamp and slices older
+    than the window are zeroed lazily as time advances. Reads merge the
+    live slices, so a snapshot is exact to slice granularity.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        window: float = 60.0,
+        slices: int = 6,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if window <= 0:
+            raise ValueError("window must be > 0 seconds")
+        if slices < 1:
+            raise ValueError("slices must be >= 1")
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.clock = clock
+        self.window = float(window)
+        self.slices = slices
+        self.buckets = tuple(buckets)
+        self._slice_span = self.window / slices
+        #: ring of per-slice state: (slice_index, counts, count, sum)
+        self._counts: List[List[int]] = [
+            [0] * (len(self.buckets) + 1) for _ in range(slices)
+        ]
+        self._totals: List[int] = [0] * slices
+        self._sums: List[float] = [0.0] * slices
+        self._epochs: List[int] = [-1] * slices
+
+    def _slot(self, now: float) -> int:
+        """The ring slot for ``now``, zeroing any expired slice."""
+        epoch = int(now / self._slice_span)
+        slot = epoch % self.slices
+        if self._epochs[slot] != epoch:
+            self._counts[slot] = [0] * (len(self.buckets) + 1)
+            self._totals[slot] = 0
+            self._sums[slot] = 0.0
+            self._epochs[slot] = epoch
+        return slot
+
+    def observe(self, value: float) -> None:
+        """Record one observation at the current clock time."""
+        value = float(value)
+        slot = self._slot(self.clock())
+        counts = self._counts[slot]
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._totals[slot] += 1
+        self._sums[slot] += value
+
+    def snapshot(self) -> WindowSnapshot:
+        """Merge the slices still inside the window as of now."""
+        now = self.clock()
+        live_epoch = int(now / self._slice_span)
+        merged = [0] * (len(self.buckets) + 1)
+        count = 0
+        total = 0.0
+        for slot in range(self.slices):
+            epoch = self._epochs[slot]
+            if epoch < 0 or epoch <= live_epoch - self.slices:
+                continue  # never used, or slid out of the window
+            for index, bucket_count in enumerate(self._counts[slot]):
+                merged[index] += bucket_count
+            count += self._totals[slot]
+            total += self._sums[slot]
+        return WindowSnapshot(
+            count=count,
+            sum=total,
+            buckets=self.buckets,
+            bucket_counts=tuple(merged),
+        )
+
+    @property
+    def count(self) -> int:
+        return self.snapshot().count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile over the current window."""
+        return self.snapshot().quantile(q)

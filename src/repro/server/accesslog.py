@@ -1,14 +1,19 @@
 """Structured per-request access log for the storage server.
 
 Grid operations live on access logs (HammerCloud itself mines them).
-The log is a bounded ring buffer of structured entries with an
-Apache-common-log-format renderer, plus simple aggregations the
-benchmarks and operators want (per-method counts, byte totals,
-latency percentiles). With a :class:`~repro.obs.MetricsRegistry`
-attached, every entry also feeds the server-side metric series
+The log is a bounded ring buffer of structured entries — each one a
+flat record (:meth:`AccessEntry.to_record`) that serialises to JSONL
+(:meth:`AccessLog.to_json_lines`); the Apache-common-log-format line is
+just a rendering of that record. Entries carry the trace ID propagated
+by the client's ``Traceparent`` header, so one grep joins server-side
+log lines to client spans. Aggregations the benchmarks and operators
+want (per-method counts, byte totals, latency percentiles) are built
+in. With a :class:`~repro.obs.MetricsRegistry` attached, every entry
+also feeds the server-side metric series
 (``server.access_total{method=,status=}``, ``server.bytes_sent_total``,
-``server.request_seconds``) so both ends of a run are visible in one
-format.
+``server.request_seconds``), and an attached
+:class:`~repro.obs.RollingHistogram` ``window`` tracks the same
+durations over a sliding window for the ``/metrics`` endpoint.
 """
 
 from __future__ import annotations
@@ -17,12 +22,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+from repro.obs.events import events_to_json_lines
+
 __all__ = ["AccessEntry", "AccessLog"]
 
 
 @dataclass(frozen=True)
 class AccessEntry:
-    """One served request."""
+    """One served request (a flat, JSONL-able record)."""
 
     timestamp: float
     client: str
@@ -31,25 +38,53 @@ class AccessEntry:
     status: int
     bytes_sent: int
     duration: float
+    #: Hex trace ID propagated by the client ("" when none arrived).
+    trace_id: str = ""
+    #: Hex span ID of the client span that sent the request ("" idem).
+    parent_span_id: str = ""
+
+    def to_record(self) -> Dict[str, object]:
+        """The entry as a flat dict — the JSONL source of truth."""
+        return {
+            "kind": "access",
+            "ts": self.timestamp,
+            "client": self.client,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "bytes_sent": self.bytes_sent,
+            "duration": self.duration,
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+        }
 
     def common_log_format(self) -> str:
-        """Apache CLF-style rendering (timestamp as simulated seconds)."""
-        return (
-            f'{self.client} - - [{self.timestamp:.6f}] '
-            f'"{self.method} {self.path} HTTP/1.1" '
-            f"{self.status} {self.bytes_sent} {self.duration:.6f}"
+        """Apache CLF-style rendering of :meth:`to_record` (timestamp
+        as simulated seconds; trace ID appended when present)."""
+        record = self.to_record()
+        line = (
+            f'{record["client"]} - - [{record["ts"]:.6f}] '
+            f'"{record["method"]} {record["path"]} HTTP/1.1" '
+            f'{record["status"]} {record["bytes_sent"]} '
+            f'{record["duration"]:.6f}'
         )
+        if record["trace_id"]:
+            line += f' trace={record["trace_id"]}'
+        return line
 
 
 class AccessLog:
     """Bounded request log with aggregation helpers."""
 
-    def __init__(self, capacity: int = 10_000, metrics=None):
+    def __init__(self, capacity: int = 10_000, metrics=None, window=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         #: Optional :class:`~repro.obs.MetricsRegistry` mirror.
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.RollingHistogram` of durations
+        #: over a sliding window (exposed via the metrics endpoint).
+        self.window = window
         self._entries: Deque[AccessEntry] = deque(maxlen=capacity)
         self.total_requests = 0
         self.total_bytes = 0
@@ -70,6 +105,8 @@ class AccessLog:
             self.metrics.histogram("server.request_seconds").observe(
                 entry.duration
             )
+        if self.window is not None:
+            self.window.observe(entry.duration)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,3 +151,8 @@ class AccessLog:
         """The last n entries (all if None) in common log format."""
         entries = self.entries if n is None else self.tail(n)
         return "\n".join(e.common_log_format() for e in entries)
+
+    def to_json_lines(self, n: Optional[int] = None) -> str:
+        """The last n entries (all if None) as deterministic JSONL."""
+        entries = self.entries if n is None else self.tail(n)
+        return events_to_json_lines(e.to_record() for e in entries)

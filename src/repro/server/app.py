@@ -38,6 +38,7 @@ from repro.http import (
     serialize_response,
     serialize_response_head,
 )
+from repro.obs.propagation import TRACEPARENT_HEADER, parse_traceparent
 from repro.server.handlers import ServedResponse, StorageApp
 
 __all__ = ["serve_forever", "handle_connection", "HttpServer"]
@@ -92,6 +93,29 @@ def handle_connection(channel, app: StorageApp):
                 )
             )
             started = yield Now()
+            # Metrics scrapes are pure observers: they get no span, no
+            # wide event and no access-log entry, so the series they
+            # expose are never perturbed by the act of reading them.
+            scrape = (
+                request.method == "GET"
+                and config.metrics_path is not None
+                and request.path == config.metrics_path
+            )
+            trace_ctx = parse_traceparent(
+                request.headers.get(TRACEPARENT_HEADER)
+            )
+            tracer = getattr(app, "tracer", None)
+            span = None
+            if tracer is not None and not scrape:
+                # Joined to the client's trace when a Traceparent
+                # header arrived; a fresh root trace otherwise.
+                span = tracer.start(
+                    "server-request",
+                    root=trace_ctx is None,
+                    remote=trace_ctx,
+                    method=request.method,
+                    path=request.path,
+                )
             result = app.handle(request)
             if result.deferred is not None:
                 # Deferred operations (e.g. third-party copy) do their
@@ -107,9 +131,28 @@ def handle_connection(channel, app: StorageApp):
             if not keep:
                 result.response.headers.set("Connection", "close")
             aborted = yield from _send_result(channel, result)
+            finished = yield Now()
+            status = result.response.status
+            trace_hex = trace_ctx.trace_id_hex if trace_ctx else ""
+            parent_hex = trace_ctx.span_id_hex if trace_ctx else ""
+            if span is not None:
+                span.end(status=status)
+            events = getattr(app, "events", None)
+            if events is not None and not scrape:
+                events.emit(
+                    "request",
+                    side="server",
+                    ts=started,
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                    bytes_sent=result.body_length,
+                    duration=finished - started,
+                    trace_id=trace_hex,
+                    parent_span_id=parent_hex,
+                )
             access_log = getattr(app, "access_log", None)
-            if access_log is not None:
-                finished = yield Now()
+            if access_log is not None and not scrape:
                 from repro.server.accesslog import AccessEntry
 
                 access_log.record(
@@ -120,9 +163,11 @@ def handle_connection(channel, app: StorageApp):
                         ),
                         method=request.method,
                         path=request.path,
-                        status=result.response.status,
+                        status=status,
                         bytes_sent=result.body_length,
                         duration=finished - started,
+                        trace_id=trace_hex,
+                        parent_span_id=parent_hex,
                     )
                 )
             if aborted or not keep:

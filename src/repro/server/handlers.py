@@ -55,6 +55,9 @@ class ServerConfig:
     send_chunk: int = 262144
     #: TLS cost model; None = plain http (see concurrency.tlsmodel).
     tls: Optional[object] = None
+    #: Serve the Prometheus text exposition of the app's registry on
+    #: GET of this path (e.g. ``"/metrics"``); None = disabled.
+    metrics_path: Optional[str] = None
 
 
 @dataclass
@@ -111,11 +114,27 @@ class StorageApp:
         self._tpc_context = None
         #: Optional :class:`~repro.server.accesslog.AccessLog`.
         self.access_log = None
+        #: Optional :class:`~repro.obs.Tracer`: the serve loop starts a
+        #: ``server-request`` span per request, joined to the client's
+        #: trace when a ``Traceparent`` header arrives.
+        self.tracer = None
+        #: Optional :class:`~repro.obs.EventLog` for server-side wide
+        #: events (one per served request).
+        self.events = None
 
     # -- entry point -----------------------------------------------------------
 
     def handle(self, request: Request) -> ServedResponse:
         """Compute the response for ``request`` (no I/O, no blocking)."""
+        if (
+            self.config.metrics_path is not None
+            and request.method == "GET"
+            and request.path == self.config.metrics_path
+        ):
+            # A scrape, not workload traffic: answered before the
+            # request counters and fault policy so it never perturbs
+            # the series it exposes.
+            return self._metrics_response(request)
         self.requests_handled += 1
         self.requests_by_method[request.method] = (
             self.requests_by_method.get(request.method, 0) + 1
@@ -171,6 +190,35 @@ class StorageApp:
             served.body_length / self.config.disk_bandwidth
         )
         return served
+
+    def _metrics_response(self, request: Request) -> ServedResponse:
+        """The Prometheus text exposition of this app's registry."""
+        from repro.obs.export import (
+            PROMETHEUS_CONTENT_TYPE,
+            prometheus_exposition,
+            window_to_prometheus,
+        )
+
+        text = (
+            prometheus_exposition(self.metrics)
+            if self.metrics is not None
+            else ""
+        )
+        window = getattr(self.access_log, "window", None)
+        if window is not None:
+            text += window_to_prometheus(
+                "server_request_seconds_window", window.snapshot()
+            )
+        body = text.encode("utf-8")
+        headers = Headers(
+            [
+                ("Content-Type", PROMETHEUS_CONTENT_TYPE),
+                ("Content-Length", len(body)),
+            ]
+        )
+        return self._finish(
+            request, ServedResponse(Response(200, headers, body))
+        )
 
     # -- method handlers ---------------------------------------------------------
 

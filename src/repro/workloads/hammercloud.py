@@ -4,17 +4,30 @@ The paper averaged 576 HammerCloud executions over 12 days per data
 point. Simulated time is free, so the campaign runs N independent
 repetitions (different jitter seeds) per (protocol, profile) cell and
 reports the same aggregate: the mean execution time.
+
+The campaign is also the telemetry pipeline's head-end: every davix
+repetition runs on its own :class:`~repro.core.context.Context` whose
+wide events (one per request) are collected — tagged with protocol,
+profile and repetition — alongside one ``run`` summary event per
+repetition, and exported as JSONL
+(:meth:`Campaign.event_json_lines`) or rendered as the
+HammerCloud-style page (:meth:`Campaign.report`). ``python -m
+repro.workloads.hammercloud`` runs a small campaign and writes both.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.context import Context
 from repro.net.profiles import NetProfile
+from repro.obs.events import events_to_json_lines
+from repro.obs.slo import SloPolicy
 from repro.rootio.generator import DatasetSpec
 from repro.workloads.analysis import AnalysisConfig, AnalysisReport
+from repro.workloads.report import render_report
 from repro.workloads.runner import Scenario, run_scenario
 
 __all__ = ["CellStats", "Campaign", "results_to_csv"]
@@ -92,6 +105,11 @@ class Campaign:
         self.repetitions = repetitions
         self.base_seed = base_seed
         self.materialize = materialize
+        #: Wide events accumulated across every cell run so far: the
+        #: per-request events of each davix repetition (tagged with
+        #: protocol/profile/repetition) plus one ``run`` summary event
+        #: per repetition of either protocol.
+        self.events: List[dict] = []
 
     def run_cell(
         self, protocol: str, profile: NetProfile
@@ -107,7 +125,31 @@ class Campaign:
                 seed=self.base_seed + repetition,
                 materialize=self.materialize,
             )
-            stats.reports.append(run_scenario(scenario))
+            # Each davix repetition gets a fresh context so its event
+            # log covers exactly one execution.
+            context = Context() if protocol == "davix" else None
+            report = run_scenario(scenario, context=context)
+            stats.reports.append(report)
+            tags = {
+                "protocol": protocol,
+                "profile": profile.name,
+                "repetition": repetition,
+            }
+            if context is not None:
+                for event in context.events.records():
+                    merged = dict(event)
+                    merged.update(tags)
+                    self.events.append(merged)
+            run_event = {
+                "kind": "run",
+                "wall_seconds": report.wall_seconds,
+                "events_read": report.events_read,
+                "bytes_fetched": report.bytes_fetched,
+                "remote_reads": report.remote_reads,
+                "refills": report.refills,
+            }
+            run_event.update(tags)
+            self.events.append(run_event)
         return stats
 
     def run_matrix(
@@ -123,3 +165,91 @@ class Campaign:
                     protocol, profile
                 )
         return results
+
+    # -- telemetry exports ----------------------------------------------------
+
+    def event_json_lines(self) -> str:
+        """Every collected wide event as deterministic JSONL."""
+        return events_to_json_lines(self.events)
+
+    def report(self, policy: Optional[SloPolicy] = None) -> str:
+        """The HammerCloud-style run summary over the collected events."""
+        return render_report(self.events, policy=policy)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run a small campaign and emit its telemetry artifacts.
+
+    ``python -m repro.workloads.hammercloud --events-out events.jsonl
+    --report-out report.txt`` — what the CI perf-smoke job archives.
+    """
+    import argparse
+    import sys
+
+    from repro.net.profiles import PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.hammercloud",
+        description="Run a HammerCloud-style campaign matrix.",
+    )
+    parser.add_argument(
+        "--profiles",
+        default="lan,geant,wan",
+        help="comma-separated network profiles (default: lan,geant,wan)",
+    )
+    parser.add_argument(
+        "--protocols",
+        default="davix,xrootd",
+        help="comma-separated protocols (default: davix,xrootd)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, metavar="N"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--entries", type=int, default=600, metavar="N",
+        help="tree entries per execution (default: 600)",
+    )
+    parser.add_argument(
+        "--events-out", metavar="PATH",
+        help="write the JSONL wide-event log here",
+    )
+    parser.add_argument(
+        "--report-out", metavar="PATH",
+        help="write the rendered run report here",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.rootio.generator import BranchSpec
+
+    profiles = [PROFILES[name] for name in args.profiles.split(",")]
+    protocols = tuple(args.protocols.split(","))
+    spec = DatasetSpec(
+        name="hep_events",
+        n_entries=args.entries,
+        branches=(
+            BranchSpec("px", event_size=512, compress_ratio=0.5),
+            BranchSpec("py", event_size=256, compress_ratio=0.5),
+        ),
+        basket_entries=100,
+        seed=7,
+    )
+    config = AnalysisConfig()
+    campaign = Campaign(
+        spec, config, repetitions=args.repetitions, base_seed=args.seed
+    )
+    results = campaign.run_matrix(profiles, protocols=protocols)
+    sys.stdout.write(results_to_csv(results))
+    if args.events_out:
+        with open(args.events_out, "w") as handle:
+            handle.write(campaign.event_json_lines() + "\n")
+    report = campaign.report()
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            handle.write(report)
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

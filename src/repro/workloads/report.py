@@ -1,0 +1,177 @@
+"""HammerCloud-style run report rendered from the wide-event log.
+
+HammerCloud's value was never the raw numbers — it was the one page an
+operator reads after a campaign: how long executions took per site, and
+where the time went. :func:`render_report` produces that page from a
+JSONL event log (the output of
+:meth:`~repro.workloads.hammercloud.Campaign.event_json_lines` or any
+list of event dicts): per-cell execution statistics from the ``run``
+events, a per-profile phase breakdown from the client-side ``request``
+events, and SLO verdicts from replaying those requests through a
+:class:`~repro.obs.SloTracker`.
+
+Everything renders with fixed ``%.6f`` formatting over deterministic
+simulated timings, so two seeded repetitions of the same campaign
+produce byte-identical reports — the property the golden tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.stats import percentile
+from repro.obs.phases import PHASES
+from repro.obs.slo import SloPolicy, SloTracker
+
+__all__ = ["render_report"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    """Space-aligned table lines (two-space indent, two-space gutter)."""
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  " + "  ".join(
+            cell.ljust(width) for cell, width in zip(header, widths)
+        ).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+    return lines
+
+
+def _run_section(events: List[dict]) -> List[str]:
+    cells: Dict[Tuple[str, str], List[float]] = {}
+    for event in events:
+        key = (str(event["protocol"]), str(event["profile"]))
+        cells.setdefault(key, []).append(float(event["wall_seconds"]))
+    rows = []
+    for (protocol, profile), times in sorted(cells.items()):
+        rows.append(
+            [
+                protocol,
+                profile,
+                str(len(times)),
+                _fmt(sum(times) / len(times)),
+                _fmt(percentile(times, 50)),
+                _fmt(percentile(times, 95)),
+            ]
+        )
+    lines = ["Executions (wall seconds)"]
+    lines += _table(
+        ["protocol", "profile", "n", "mean", "p50", "p95"], rows
+    )
+    return lines
+
+
+def _phase_section(events: List[dict]) -> List[str]:
+    """Mean per-request phase breakdown per profile (client side)."""
+    by_profile: Dict[str, List[dict]] = {}
+    for event in events:
+        by_profile.setdefault(str(event.get("profile", "?")), []).append(
+            event
+        )
+    lines = ["Phase breakdown (client, mean seconds per request)"]
+    header = ["profile", "requests"] + list(PHASES)
+    rows = []
+    for profile, profile_events in sorted(by_profile.items()):
+        row = [profile, str(len(profile_events))]
+        for phase in PHASES:
+            field = "phase_" + phase.replace("-", "_")
+            total = sum(
+                float(event.get(field, 0.0)) for event in profile_events
+            )
+            row.append(_fmt(total / len(profile_events)))
+        rows.append(row)
+    lines += _table(header, rows)
+    return lines
+
+
+def _slo_section(
+    events: List[dict], policy: SloPolicy
+) -> List[str]:
+    tracker = SloTracker(policy=policy)
+    for event in events:
+        tracker.record(
+            str(event.get("origin", event.get("host", "?"))),
+            float(event["duration"]),
+            ok=int(event["status"]) < 500,
+        )
+    lines = [
+        "SLO verdicts (availability>="
+        f"{policy.availability * 100:.2f}%, "
+        f"p{policy.latency_objective * 100:.0f} latency<="
+        f"{policy.latency_threshold:.6f}s)"
+    ]
+    rows = []
+    for origin in tracker.origins():
+        latency = origin.latency_percentile(policy.latency_objective)
+        rows.append(
+            [
+                origin.origin,
+                str(origin.requests),
+                f"{origin.availability * 100:.4f}%",
+                f"{origin.latency_attainment * 100:.4f}%",
+                _fmt(latency) if latency is not None else "-",
+                _fmt(origin.budget_remaining()),
+                origin.verdict,
+            ]
+        )
+    lines += _table(
+        [
+            "origin",
+            "requests",
+            "availability",
+            "latency_ok",
+            "p_latency",
+            "budget",
+            "verdict",
+        ],
+        rows,
+    )
+    return lines
+
+
+def render_report(
+    events: Iterable[dict], policy: Optional[SloPolicy] = None
+) -> str:
+    """The HammerCloud-style run summary for an event log.
+
+    ``events`` is any iterable of wide-event dicts (parsed JSONL);
+    ``run`` events feed the execution table, client-side ``request``
+    events feed the phase breakdown and the SLO verdicts. Sections with
+    no events are omitted; an empty log renders a single stub line.
+    """
+    policy = policy or SloPolicy()
+    events = list(events)
+    runs = [e for e in events if e.get("kind") == "run"]
+    requests = [
+        e
+        for e in events
+        if e.get("kind") == "request" and e.get("side") == "client"
+    ]
+    sections: List[List[str]] = []
+    if runs:
+        sections.append(_run_section(runs))
+    if requests:
+        sections.append(_phase_section(requests))
+        sections.append(_slo_section(requests, policy))
+    title = "HammerCloud run report"
+    lines = [title, "=" * len(title)]
+    if not sections:
+        lines.append("(no events)")
+    for section in sections:
+        lines.append("")
+        lines.extend(section)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""MetricsRegistry.merge: the per-shard aggregation primitive."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counters_add_and_gauges_add():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.counter("req.total").inc(3)
+    right.counter("req.total").inc(4)
+    left.gauge("pool.idle").set(2)
+    right.gauge("pool.idle").set(5)
+    assert left.merge(right) is left
+    assert left.value("req.total") == 7
+    assert left.value("pool.idle") == 7
+
+
+def test_distinct_label_sets_do_not_collide():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.counter("req.total", outcome="hit").inc(1)
+    right.counter("req.total", outcome="miss").inc(2)
+    right.counter("req.total", outcome="hit").inc(10)
+    left.merge(right)
+    assert left.value("req.total", outcome="hit") == 11
+    assert left.value("req.total", outcome="miss") == 2
+
+
+def test_missing_series_created_on_demand():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    right.counter("only.there").inc(9)
+    right.histogram("h", buckets=(1.0,)).observe(0.5)
+    left.merge(right)
+    assert left.value("only.there") == 9
+    assert left.get("h").count == 1
+
+
+def test_histogram_merge_is_bucket_exact():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    for value in (0.005, 0.05):
+        left.histogram("lat", buckets=(0.01, 0.1)).observe(value)
+    for value in (0.05, 5.0):
+        right.histogram("lat", buckets=(0.01, 0.1)).observe(value)
+    left.merge(right)
+    merged = left.get("lat")
+    assert merged.bucket_counts == [1, 2, 1]
+    assert merged.count == 4
+    assert merged.sum == pytest.approx(5.105)
+    assert merged.min == 0.005
+    assert merged.max == 5.0
+    assert merged.percentile(1.0) == 5.0
+
+
+def test_histogram_bucket_mismatch_raises():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.histogram("lat", buckets=(0.01, 0.1)).observe(0.05)
+    right.histogram("lat", buckets=(0.5,)).observe(0.05)
+    with pytest.raises(ValueError):
+        left.merge(right)
+
+
+def test_kind_mismatch_raises():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.counter("x").inc()
+    right.gauge("x").set(1)
+    with pytest.raises(ValueError):
+        left.merge(right)
+
+
+def test_merge_is_associative_enough_for_fanin():
+    shards = []
+    for shard_index in range(3):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(shard_index + 1)
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        shards.append(registry)
+    total = MetricsRegistry()
+    for shard in shards:
+        total.merge(shard)
+    assert total.value("n") == 6
+    assert total.get("lat").count == 3

@@ -1,0 +1,88 @@
+"""PhaseRecorder mark accounting and RequestTimings invariants."""
+
+import pytest
+
+from repro.obs import PHASES, PhaseRecorder, RequestTimings
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_marks_attribute_interval_since_previous_mark():
+    clock = FakeClock()
+    recorder = PhaseRecorder(clock)
+    clock.advance(0.5)
+    assert recorder.mark("queue-wait") == 0.5
+    clock.advance(0.25)
+    recorder.mark("connect")
+    timings = recorder.timings()
+    assert timings.queue_wait == 0.5
+    assert timings.connect == 0.25
+    assert timings.tls == 0.0
+
+
+def test_repeated_marks_accumulate():
+    clock = FakeClock()
+    recorder = PhaseRecorder(clock)
+    clock.advance(1.0)
+    recorder.mark("queue-wait")
+    clock.advance(2.0)
+    recorder.mark("queue-wait")
+    assert recorder.timings().queue_wait == 3.0
+
+
+def test_total_equals_marked_wall_time():
+    clock = FakeClock()
+    recorder = PhaseRecorder(clock)
+    for phase, step in zip(PHASES, (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)):
+        clock.advance(step)
+        recorder.mark(phase)
+    assert recorder.timings().total == pytest.approx(2.8)
+
+
+def test_add_does_not_move_the_mark():
+    clock = FakeClock()
+    recorder = PhaseRecorder(clock)
+    clock.advance(1.0)
+    recorder.add("multipart-decode", 0.05)
+    recorder.mark("body-transfer")
+    timings = recorder.timings()
+    assert timings.multipart_decode == 0.05
+    assert timings.body_transfer == 1.0  # the full interval, unshrunk
+
+
+def test_unknown_phase_rejected():
+    recorder = PhaseRecorder(FakeClock())
+    with pytest.raises(ValueError):
+        recorder.mark("warp-drive")
+    with pytest.raises(ValueError):
+        recorder.add("warp-drive", 1.0)
+
+
+def test_elapsed_in_canonical_order():
+    clock = FakeClock()
+    recorder = PhaseRecorder(clock)
+    clock.advance(0.1)
+    recorder.mark("ttfb")
+    clock.advance(0.1)
+    recorder.mark("connect")
+    assert [phase for phase, _ in recorder.elapsed()] == [
+        "connect",
+        "ttfb",
+    ]
+
+
+def test_timings_as_dict_covers_every_phase_in_order():
+    timings = RequestTimings(ttfb=1.5)
+    assert tuple(timings.as_dict()) == PHASES
+    assert timings.as_dict()["ttfb"] == 1.5
+    assert "ttfb=1.500000" in repr(timings)
+    assert repr(RequestTimings()) == "<RequestTimings empty>"

@@ -1,0 +1,67 @@
+"""SLO policy, per-origin tallies and error-budget arithmetic."""
+
+import pytest
+
+from repro.obs import SloPolicy, SloTracker
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SloPolicy(availability=0.0)
+    with pytest.raises(ValueError):
+        SloPolicy(availability=1.5)
+    with pytest.raises(ValueError):
+        SloPolicy(latency_threshold=0.0)
+    with pytest.raises(ValueError):
+        SloPolicy(latency_objective=0.0)
+
+
+def test_all_good_requests_verdict_ok():
+    tracker = SloTracker()
+    for _ in range(100):
+        tracker.record("server:80", 0.01, ok=True)
+    origin = tracker.origin("server:80")
+    assert origin.availability == 1.0
+    assert origin.latency_attainment == 1.0
+    assert origin.budget_remaining() == 1.0
+    assert origin.verdict == "OK"
+
+
+def test_availability_breach_spends_the_budget():
+    tracker = SloTracker(policy=SloPolicy(availability=0.99))
+    for index in range(100):
+        tracker.record("server:80", 0.01, ok=index >= 5)
+    origin = tracker.origin("server:80")
+    assert origin.availability == pytest.approx(0.95)
+    # 5% errors against a 1% budget: 5x overspent.
+    assert origin.budget_remaining() == pytest.approx(1.0 - 5.0)
+    assert origin.verdict == "BREACH"
+
+
+def test_latency_breach_without_errors():
+    policy = SloPolicy(latency_threshold=0.1, latency_objective=0.9)
+    tracker = SloTracker(policy=policy)
+    for index in range(10):
+        tracker.record("server:80", 1.0 if index < 2 else 0.01, ok=True)
+    origin = tracker.origin("server:80")
+    assert origin.availability == 1.0
+    assert origin.latency_attainment == pytest.approx(0.8)
+    assert origin.verdict == "BREACH"
+    assert origin.latency_percentile(0.5) == 0.01
+
+
+def test_zero_budget_policy():
+    tracker = SloTracker(policy=SloPolicy(availability=1.0))
+    tracker.record("a", 0.01, ok=True)
+    assert tracker.origin("a").budget_remaining() == 1.0
+    tracker.record("a", 0.01, ok=False)
+    assert tracker.origin("a").budget_remaining() == float("-inf")
+
+
+def test_origins_sorted_and_len():
+    tracker = SloTracker()
+    tracker.record("b:80", 0.01, ok=True)
+    tracker.record("a:80", 0.01, ok=True)
+    assert [o.origin for o in tracker.origins()] == ["a:80", "b:80"]
+    assert len(tracker) == 2
+    assert tracker.origin("missing") is None

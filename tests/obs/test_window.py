@@ -1,0 +1,84 @@
+"""RollingHistogram sliding-window semantics."""
+
+import pytest
+
+from repro.obs import RollingHistogram
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(window=60.0, slices=6, buckets=(0.01, 0.1, 1.0)):
+    clock = FakeClock()
+    return clock, RollingHistogram(
+        clock, window=window, slices=slices, buckets=buckets
+    )
+
+
+def test_observe_and_snapshot():
+    clock, hist = make()
+    hist.observe(0.005)
+    hist.observe(0.05)
+    hist.observe(5.0)  # overflow bucket
+    snap = hist.snapshot()
+    assert snap.count == 3
+    assert snap.sum == pytest.approx(5.055)
+    assert snap.bucket_counts == (1, 1, 0, 1)
+    assert snap.mean == pytest.approx(5.055 / 3)
+
+
+def test_old_slices_fall_out_of_the_window():
+    clock, hist = make(window=60.0, slices=6)
+    hist.observe(0.05)
+    clock.now = 30.0
+    hist.observe(0.05)
+    assert hist.count == 2
+    clock.now = 65.0  # first slice (epoch 0) now older than the window
+    assert hist.count == 1
+    clock.now = 1000.0
+    assert hist.count == 0
+
+
+def test_slot_reuse_zeroes_stale_counts():
+    clock, hist = make(window=6.0, slices=6)  # 1s slices
+    hist.observe(0.05)
+    clock.now = 6.0  # same ring slot as t=0, one full window later
+    hist.observe(0.05)
+    snap = hist.snapshot()
+    assert snap.count == 1
+
+
+def test_quantile_returns_bucket_bound():
+    clock, hist = make(buckets=(0.01, 0.1, 1.0))
+    for _ in range(9):
+        hist.observe(0.05)
+    hist.observe(0.5)
+    assert hist.quantile(0.5) == 0.1
+    assert hist.quantile(1.0) == 1.0
+    hist.observe(100.0)
+    assert hist.quantile(1.0) == float("inf")
+
+
+def test_empty_window_quantile_and_mean():
+    _, hist = make()
+    snap = hist.snapshot()
+    assert snap.count == 0
+    assert snap.mean is None
+    assert snap.quantile(0.5) is None
+    with pytest.raises(ValueError):
+        snap.quantile(1.5)
+
+
+def test_constructor_validation():
+    clock = FakeClock()
+    with pytest.raises(ValueError):
+        RollingHistogram(clock, window=0)
+    with pytest.raises(ValueError):
+        RollingHistogram(clock, slices=0)
+    with pytest.raises(ValueError):
+        RollingHistogram(clock, buckets=(2.0, 1.0))

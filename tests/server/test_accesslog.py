@@ -78,6 +78,67 @@ def test_render_tail():
     assert "203" in rendered and "204" in rendered
 
 
+def test_to_record_is_flat_and_complete():
+    record = entry().to_record()
+    assert record == {
+        "kind": "access",
+        "ts": 1.0,
+        "client": "client",
+        "method": "GET",
+        "path": "/x",
+        "status": 200,
+        "bytes_sent": 100,
+        "duration": 0.01,
+        "trace_id": "",
+        "parent_span_id": "",
+    }
+
+
+def test_clf_is_a_rendering_of_the_record():
+    plain = entry()
+    assert "trace=" not in plain.common_log_format()
+    traced = AccessEntry(
+        timestamp=1.0,
+        client="client",
+        method="GET",
+        path="/x",
+        status=200,
+        bytes_sent=100,
+        duration=0.01,
+        trace_id="ab" * 16,
+        parent_span_id="cd" * 8,
+    )
+    line = traced.common_log_format()
+    assert line.endswith(f" trace={'ab' * 16}")
+    # Everything in the CLF line comes from to_record().
+    assert traced.to_record()["trace_id"] == "ab" * 16
+
+
+def test_to_json_lines_is_deterministic_jsonl():
+    from repro.obs import parse_json_lines
+
+    log = AccessLog()
+    log.record(entry(200))
+    log.record(entry(404))
+    text = log.to_json_lines()
+    parsed = parse_json_lines(text)
+    assert [record["status"] for record in parsed] == [200, 404]
+    assert all(record["kind"] == "access" for record in parsed)
+    assert log.to_json_lines(1) == text.splitlines()[-1]
+
+
+def test_attached_window_sees_durations():
+    from repro.obs import RollingHistogram
+
+    window = RollingHistogram(lambda: 0.0, buckets=(0.05, 1.0))
+    log = AccessLog(window=window)
+    log.record(entry(duration=0.01))
+    log.record(entry(duration=0.5))
+    snap = window.snapshot()
+    assert snap.count == 2
+    assert snap.bucket_counts == (1, 1, 0)
+
+
 def test_serve_loop_records_requests():
     client, app, store, _ = davix_world()
     app.access_log = AccessLog()

@@ -1,0 +1,102 @@
+"""tools/bench_diff.py: the CI p50 regression gate."""
+
+import io
+import json
+import sys
+
+import pytest
+
+sys.path.insert(0, "tools")
+
+import bench_diff  # noqa: E402
+
+
+def artifact(tmp_path, name, p50s):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(
+            {
+                "bench": name,
+                "configs": {
+                    label: {
+                        "samples": [],
+                        "summary": (
+                            {"mean": p50, "n": 1, "p50": p50, "p95": p50}
+                            if p50 is not None
+                            else {}
+                        ),
+                    }
+                    for label, p50 in p50s.items()
+                },
+            }
+        )
+    )
+    return str(path)
+
+
+def test_identical_artifacts_pass(tmp_path):
+    base = artifact(tmp_path, "base.json", {"a": 1.0, "b": 2.0})
+    assert bench_diff.main([base, base]) == 0
+
+
+def test_regression_beyond_threshold_fails(tmp_path):
+    base = artifact(tmp_path, "base.json", {"a": 1.0})
+    cur = artifact(tmp_path, "cur.json", {"a": 1.2})
+    assert bench_diff.main([base, cur, "--threshold", "0.15"]) == 1
+    # A looser gate lets the same drift through.
+    assert bench_diff.main([base, cur, "--threshold", "0.25"]) == 0
+
+
+def test_improvement_never_fails(tmp_path):
+    base = artifact(tmp_path, "base.json", {"a": 1.0})
+    cur = artifact(tmp_path, "cur.json", {"a": 0.1})
+    assert bench_diff.main([base, cur]) == 0
+
+
+def test_missing_configs_are_reported_not_failed(tmp_path):
+    base = bench_diff.load_p50s(
+        artifact(tmp_path, "base.json", {"a": 1.0, "gone": 1.0})
+    )
+    cur = bench_diff.load_p50s(
+        artifact(tmp_path, "cur.json", {"a": 1.0, "new": 9.0})
+    )
+    out = io.StringIO()
+    assert bench_diff.diff(base, cur, 0.15, out=out) == 0
+    text = out.getvalue()
+    assert "gone: only in baseline (skipped)" in text
+    assert "new: only in current (skipped)" in text
+
+
+def test_zero_or_absent_baseline_p50_skipped(tmp_path):
+    base = bench_diff.load_p50s(
+        artifact(tmp_path, "base.json", {"zero": 0.0, "empty": None})
+    )
+    cur = bench_diff.load_p50s(
+        artifact(tmp_path, "cur.json", {"zero": 5.0, "empty": 5.0})
+    )
+    out = io.StringIO()
+    assert bench_diff.diff(base, cur, 0.15, out=out) == 0
+    assert out.getvalue().count("no comparable p50 (skipped)") == 2
+
+
+def test_diff_lines_show_percent_change(tmp_path):
+    base = bench_diff.load_p50s(artifact(tmp_path, "b.json", {"a": 1.0}))
+    cur = bench_diff.load_p50s(artifact(tmp_path, "c.json", {"a": 1.1}))
+    out = io.StringIO()
+    bench_diff.diff(base, cur, 0.15, out=out)
+    assert "a: p50 1 -> 1.1 (+10.0%) ok" in out.getvalue()
+
+
+def test_negative_threshold_rejected(tmp_path):
+    base = artifact(tmp_path, "base.json", {"a": 1.0})
+    with pytest.raises(SystemExit):
+        bench_diff.main([base, base, "--threshold", "-0.1"])
+
+
+def test_committed_baselines_self_compare_clean():
+    """The artifacts CI diffs against must be self-consistent."""
+    for name in ("BENCH_vectored_io.json", "BENCH_keepalive_pool.json"):
+        path = f"benchmarks/results/{name}"
+        p50s = bench_diff.load_p50s(path)
+        assert p50s, f"{name} has no configs"
+        assert bench_diff.diff(p50s, p50s, 0.0, out=io.StringIO()) == 0

@@ -1,0 +1,113 @@
+"""Telemetry pipeline: campaign wide events, determinism and the
+HammerCloud-style run report (library, CLI and golden properties)."""
+
+import io
+
+from repro.net.profiles import PROFILES
+from repro.obs import SloPolicy, parse_json_lines
+from repro.rootio.generator import BranchSpec, DatasetSpec
+from repro.workloads import AnalysisConfig, Campaign
+from repro.workloads.report import render_report
+
+
+def tiny_spec(n_entries=200):
+    return DatasetSpec(
+        name="hep_events",
+        n_entries=n_entries,
+        branches=(
+            BranchSpec("a", event_size=512, compress_ratio=0.5),
+            BranchSpec("b", event_size=256, compress_ratio=0.5),
+        ),
+        basket_entries=100,
+        seed=3,
+    )
+
+
+def fast_cfg():
+    return AnalysisConfig(per_event_cpu=0.0002, learn_entries=0)
+
+
+def run_campaign(repetitions=2, protocols=("davix",)):
+    campaign = Campaign(
+        spec=tiny_spec(),
+        config=fast_cfg(),
+        repetitions=repetitions,
+        base_seed=42,
+    )
+    profiles = [PROFILES[name] for name in ("lan", "geant", "wan")]
+    campaign.run_matrix(profiles, protocols=protocols)
+    return campaign
+
+
+def test_campaign_collects_tagged_wide_events():
+    campaign = run_campaign(repetitions=1)
+    runs = [e for e in campaign.events if e["kind"] == "run"]
+    requests = [e for e in campaign.events if e["kind"] == "request"]
+    assert len(runs) == 3  # one per (davix, profile) repetition
+    assert requests  # davix repetitions log per-request events
+    for event in requests:
+        assert event["side"] == "client"
+        assert event["protocol"] == "davix"
+        assert event["profile"] in ("lan", "geant", "wan")
+        assert event["repetition"] == 0
+        assert len(event["trace_id"]) == 32
+        assert "phase_ttfb" in event
+
+
+def test_campaign_telemetry_is_deterministic_across_repeats():
+    """The acceptance property: two seeded runs of the same 3-profile
+    campaign export byte-identical JSONL and render byte-identical
+    reports."""
+    first = run_campaign()
+    second = run_campaign()
+    assert first.event_json_lines() == second.event_json_lines()
+    assert first.report() == second.report()
+
+
+def test_report_sections_and_formatting():
+    campaign = run_campaign(repetitions=1)
+    report = campaign.report()
+    lines = report.splitlines()
+    assert lines[0] == "HammerCloud run report"
+    assert lines[1] == "=" * len(lines[0])
+    assert "Executions (wall seconds)" in report
+    assert "Phase breakdown (client, mean seconds per request)" in report
+    assert "SLO verdicts" in report
+    assert "server:80" in report
+    assert report.endswith("\n")
+    # Every davix cell appears in the executions table.
+    for profile in ("lan", "geant", "wan"):
+        assert any(
+            line.split()[:2] == ["davix", profile] for line in lines
+        )
+
+
+def test_report_of_empty_log_is_a_stub():
+    assert render_report([]) == (
+        "HammerCloud run report\n"
+        "======================\n"
+        "(no events)\n"
+    )
+
+
+def test_cli_report_matches_library_rendering(tmp_path):
+    from repro.cli import build_parser, cmd_report
+
+    campaign = run_campaign(repetitions=1)
+    events_path = tmp_path / "events.jsonl"
+    events_path.write_text(campaign.event_json_lines() + "\n")
+
+    args = build_parser().parse_args(["report", str(events_path)])
+    out = io.StringIO()
+    assert cmd_report(args, out=out) == 0
+    # The CLI defaults mirror SloPolicy's defaults exactly.
+    assert out.getvalue() == campaign.report(policy=SloPolicy())
+    assert out.getvalue() == campaign.report()
+
+
+def test_event_json_lines_roundtrip():
+    campaign = run_campaign(repetitions=1)
+    parsed = parse_json_lines(campaign.event_json_lines())
+    assert len(parsed) == len(campaign.events)
+    kinds = {event["kind"] for event in parsed}
+    assert kinds == {"run", "request"}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two benchmark artifacts and fail on p50 regressions.
+
+Usage::
+
+    python tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Both files are ``BENCH_<name>.json`` artifacts as written by
+``benchmarks/_util.emit``: a ``configs`` mapping of config label ->
+``{"samples": [...], "summary": {"mean", "n", "p50", "p95"}}``. For
+every config present in both files the p50s are compared; a config
+whose current p50 exceeds the baseline by more than ``--threshold``
+(fractional, default 15 %) is a regression and the exit code is 1.
+Configs missing on either side are reported but never fail the run
+(benchmarks gain and lose configs across PRs), and zero/absent
+baseline p50s are skipped (no meaningful ratio exists).
+
+CI runs this after the perf-smoke benchmarks against the committed
+baselines, so a PR that slows the hot paths fails loudly instead of
+silently shifting the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+
+def load_p50s(path: str) -> Dict[str, Optional[float]]:
+    """config label -> summary p50 (None when absent) for one artifact."""
+    with open(path) as handle:
+        data = json.load(handle)
+    configs = data.get("configs", {})
+    out: Dict[str, Optional[float]] = {}
+    for label, config in configs.items():
+        summary = config.get("summary") or {}
+        p50 = summary.get("p50")
+        out[label] = float(p50) if p50 is not None else None
+    return out
+
+
+def diff(
+    baseline: Dict[str, Optional[float]],
+    current: Dict[str, Optional[float]],
+    threshold: float,
+    out=sys.stdout,
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    regressions = 0
+    for label in sorted(set(baseline) | set(current)):
+        base = baseline.get(label)
+        cur = current.get(label)
+        if label not in baseline or label not in current:
+            side = "current" if label not in baseline else "baseline"
+            print(f"  {label}: only in {side} (skipped)", file=out)
+            continue
+        if base is None or cur is None or base <= 0:
+            print(f"  {label}: no comparable p50 (skipped)", file=out)
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            regressions += 1
+        print(
+            f"  {label}: p50 {base:.6g} -> {cur:.6g} "
+            f"({(ratio - 1.0) * 100:+.1f}%) {verdict}",
+            file=out,
+        )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_<name>.json artifacts by p50."
+    )
+    parser.add_argument("baseline", help="baseline artifact (committed)")
+    parser.add_argument("current", help="current artifact (fresh run)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed fractional p50 increase (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    print(f"bench_diff {args.baseline} vs {args.current}:")
+    regressions = diff(
+        load_p50s(args.baseline),
+        load_p50s(args.current),
+        args.threshold,
+    )
+    if regressions:
+        print(
+            f"{regressions} config(s) regressed beyond "
+            f"{args.threshold * 100:.0f}% p50 threshold"
+        )
+        return 1
+    print("no p50 regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
