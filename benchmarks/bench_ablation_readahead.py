@@ -1,11 +1,13 @@
 """ABL-RA — extension: client-level sliding-window read-ahead.
 
-Beyond the paper: the implemented XRootD client also carries an
-*application-level* plan-driven read-ahead
-(:mod:`repro.xrootd.readahead`). With enough window it overlaps the
-refill transfers with per-event compute entirely, pushing the WAN job
-toward the compute-bound floor — the upper bound of what "minimizing
-the number of network round trips" can buy.
+Beyond the paper: both implemented clients carry an
+*application-level* plan-driven read-ahead — XRootD's sliding window
+(:mod:`repro.xrootd.readahead`) and davix's pipelined transfer engine
+(:mod:`repro.core.engine`). With enough window either side overlaps
+the refill transfers with per-event compute entirely, pushing the WAN
+job toward the compute-bound floor — the upper bound of what
+"minimizing the number of network round trips" can buy. The sweep
+ablates the window size for both protocols on the WAN profile.
 """
 
 from repro.net.profiles import LAN, WAN
@@ -15,10 +17,20 @@ from repro.workloads import AnalysisConfig, Scenario, run_scenario
 from _util import bench_scale, emit
 
 WINDOWS = (None, 2_000_000, 8_000_000, 32_000_000)
+PROTOCOLS = ("davix", "xrootd")
 
 
 def label_of(window):
     return "off (paper cfg)" if window is None else f"{window // 1_000_000} MB"
+
+
+def config_for(protocol, window):
+    knob = (
+        {"davix_readahead": window}
+        if protocol == "davix"
+        else {"xrootd_readahead": window}
+    )
+    return AnalysisConfig(fraction=0.25, **knob)
 
 
 def test_ablation_readahead(benchmark):
@@ -26,51 +38,72 @@ def test_ablation_readahead(benchmark):
 
     def run():
         out = {}
-        for window in WINDOWS:
-            config = AnalysisConfig(
-                fraction=0.25, xrootd_readahead=window
-            )
-            report = run_scenario(
+        for protocol in PROTOCOLS:
+            for window in WINDOWS:
+                report = run_scenario(
+                    Scenario(
+                        profile=WAN,
+                        protocol=protocol,
+                        spec=spec,
+                        config=config_for(protocol, window),
+                        seed=29,
+                    )
+                )
+                out[(protocol, window)] = report.wall_seconds
+            # Compute-bound floor: the LAN run (no meaningful stalls).
+            out[(protocol, "floor")] = run_scenario(
                 Scenario(
-                    profile=WAN,
-                    protocol="xrootd",
+                    profile=LAN,
+                    protocol=protocol,
                     spec=spec,
-                    config=config,
+                    config=AnalysisConfig(fraction=0.25),
                     seed=29,
                 )
-            )
-            out[window] = report.wall_seconds
-        # Compute-bound floor: the LAN run (no meaningful stalls).
-        floor = run_scenario(
-            Scenario(
-                profile=LAN,
-                protocol="xrootd",
-                spec=spec,
-                config=AnalysisConfig(fraction=0.25),
-                seed=29,
-            )
-        ).wall_seconds
-        out["floor"] = floor
+            ).wall_seconds
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    rows = [
-        [label_of(window), results[window]] for window in WINDOWS
-    ]
-    rows.append(["LAN floor (compute-bound)", results["floor"]])
+    rows = []
+    for protocol in PROTOCOLS:
+        name = "HTTP" if protocol == "davix" else "XRootD"
+        for window in WINDOWS:
+            rows.append(
+                [name, label_of(window), results[(protocol, window)]]
+            )
+        rows.append(
+            [name, "LAN floor (compute-bound)", results[(protocol, "floor")]]
+        )
     emit(
         "ablation_readahead",
-        "ABL-RA: XRootD WAN job (25% of events) vs read-ahead window",
-        ["read-ahead window", "time (s)"],
+        "ABL-RA: WAN job (25% of events) vs read-ahead window, both protocols",
+        ["protocol", "read-ahead window", "time (s)"],
         rows,
         note=(
             "a large enough window hides the WAN refills behind "
-            "compute, approaching the LAN floor"
+            "compute, approaching the LAN floor — davix via the "
+            "pipelined transfer engine, XRootD via its sliding window"
         ),
+        params={
+            "windows": [w for w in WINDOWS if w is not None],
+            "fraction": 0.25,
+            "profile": WAN.name,
+            "scale": bench_scale(),
+            "seed": 29,
+        },
+        configs={
+            f"{protocol}-{'floor' if window == 'floor' else label_of(window)}": [
+                results[(protocol, window)]
+            ]
+            for protocol in PROTOCOLS
+            for window in (*WINDOWS, "floor")
+        },
     )
 
     if bench_scale() >= 0.9:
-        assert results[32_000_000] < results[None]
-        # Large window lands within 15% of the compute-bound floor.
-        assert results[32_000_000] < results["floor"] * 1.15
+        for protocol in PROTOCOLS:
+            off = results[(protocol, None)]
+            wide = results[(protocol, 32_000_000)]
+            assert wide < off
+            # Large window lands within 15% of the compute-bound floor.
+            assert wide < results[(protocol, "floor")] * 1.15

@@ -8,14 +8,14 @@ operations".
 Workload: F scattered 4 KiB fragments of a 200 MB remote file over the
 GEANT profile (40 ms RTT), read (a) one GET-with-Range per fragment,
 (b) as one vectored ``pread_vec``, (c) the same vectored read with the
-batches dispatched concurrently (``vector_max_inflight``) over pooled
-sessions. Metric: elapsed time, HTTP request count, and the zero-copy
-accounting (``vector.copy_bytes_total`` must equal the requested bytes
-— exactly one materialising copy per fragment).
+batches dispatched concurrently (``TransferConfig(max_inflight=...)``)
+over pooled sessions. Metric: elapsed time, HTTP request count, and the
+zero-copy accounting (``vector.copy_bytes_total`` must equal the
+requested bytes — exactly one materialising copy per fragment).
 """
 
 from repro.concurrency import SimRuntime
-from repro.core import DavixClient, RequestParams
+from repro.core import DavixClient, RequestParams, TransferConfig
 from repro.net.profiles import GEANT, build_network
 from repro.server import HttpServer, ObjectStore, StorageApp, ZeroContent
 from repro.sim import Environment
@@ -39,7 +39,8 @@ def build_client(max_inflight: int = 1):
     client = DavixClient(
         client_rt,
         params=RequestParams(
-            vector_gap=0, vector_max_inflight=max_inflight
+            vector_gap=0,
+            transfer=TransferConfig(max_inflight=max_inflight),
         ),
     )
     return client, app, client_rt

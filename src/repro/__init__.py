@@ -23,6 +23,7 @@ from repro.core import (
     DavPosix,
     MetalinkMode,
     RequestParams,
+    TransferConfig,
 )
 
 __version__ = "1.0.0"
@@ -34,5 +35,6 @@ __all__ = [
     "DavPosix",
     "MetalinkMode",
     "RequestParams",
+    "TransferConfig",
     "__version__",
 ]

@@ -20,10 +20,17 @@ import argparse
 import pathlib
 import sys
 import time
+import warnings
 from typing import List, Optional
 
 from repro.concurrency import ThreadRuntime
-from repro.core import BreakerConfig, DavixClient, RequestParams, RetryPolicy
+from repro.core import (
+    BreakerConfig,
+    DavixClient,
+    RequestParams,
+    RetryPolicy,
+    TransferConfig,
+)
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -47,17 +54,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="forward proxy for plain-http traffic (e.g. a site cache)",
     )
     parser.add_argument(
+        "--inflight",
+        type=int,
+        metavar="N",
+        help="concurrent in-flight requests per file operation "
+        "(vectored-read batches, multistream chunks; default 1)",
+    )
+    parser.add_argument(
+        "--read-ahead",
+        action="store_true",
+        help="arm the pipelined transfer engine: vectored reads keep "
+        "a sliding window of speculative batches in flight",
+    )
+    parser.add_argument(
         "--parallel",
         action="store_true",
-        help="dispatch vectored-read batches (and multistream chunks) "
-        "concurrently over pooled sessions",
+        help="[deprecated: use --inflight 4] dispatch vectored-read "
+        "batches (and multistream chunks) concurrently",
     )
     parser.add_argument(
         "--max-inflight",
         type=int,
         metavar="N",
-        help="cap on concurrent in-flight requests per file "
-        "(implies --parallel; default 4 when --parallel is given)",
+        help="[deprecated: use --inflight N] cap on concurrent "
+        "in-flight requests per file",
     )
     resilience = parser.add_argument_group(
         "resilience",
@@ -256,11 +276,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _inflight(args) -> Optional[int]:
-    """Effective --max-inflight: explicit N, or 4 under bare --parallel."""
+    """Effective in-flight cap: --inflight, or the deprecated
+    --max-inflight / bare --parallel (which warn and map through)."""
+    inflight = getattr(args, "inflight", None)
     max_inflight = getattr(args, "max_inflight", None)
-    if max_inflight is None and getattr(args, "parallel", False):
-        max_inflight = 4
-    return max_inflight
+    if max_inflight is not None:
+        warnings.warn(
+            "davix-tool --max-inflight is deprecated; use --inflight N",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if inflight is None:
+            inflight = max_inflight
+    if getattr(args, "parallel", False):
+        warnings.warn(
+            "davix-tool --parallel is deprecated; use --inflight 4",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if inflight is None:
+            inflight = 4
+    return inflight
+
+
+def _transfer(args) -> Optional[TransferConfig]:
+    """The unified TransferConfig the flags describe (None = defaults)."""
+    inflight = _inflight(args)
+    read_ahead = getattr(args, "read_ahead", False)
+    if inflight is None and not read_ahead:
+        return None
+    return TransferConfig(
+        max_inflight=inflight if inflight is not None else 1,
+        read_ahead=read_ahead,
+    )
 
 
 def _client(args) -> DavixClient:
@@ -273,11 +321,13 @@ def _client(args) -> DavixClient:
             jitter=args.retry_jitter,
             seed=args.retry_seed,
         )
-    max_inflight = _inflight(args)
+    inflight = _inflight(args)
+    transfer = _transfer(args)
     extra = {}
-    if max_inflight is not None:
-        extra["vector_max_inflight"] = max_inflight
-        extra["multistream_max_streams"] = max_inflight
+    if transfer is not None:
+        extra["transfer"] = transfer
+    if inflight is not None:
+        extra["multistream_max_streams"] = inflight
     params = RequestParams(
         retries=args.retries,
         operation_timeout=args.timeout,
@@ -331,9 +381,7 @@ def _parse_range(text: str):
 def cmd_vec(args, out=sys.stdout) -> int:
     reads = [_parse_range(text) for text in args.ranges]
     client = _client(args)
-    fragments = client.pread_vec(
-        args.url, reads, max_inflight=_inflight(args)
-    )
+    fragments = client.pread_vec(args.url, reads)
     if args.output:
         pathlib.Path(args.output).write_bytes(b"".join(fragments))
         print(
@@ -345,12 +393,15 @@ def cmd_vec(args, out=sys.stdout) -> int:
     for (offset, length), data in zip(reads, fragments):
         print(f"{offset}:{length} -> {len(data)} bytes", file=out)
     registry = client.metrics()
-    print(
-        f"round trips: "
-        f"{int(registry.value('vector.round_trips_total') or 0)}, "
-        f"ranges: {int(registry.value('vector.ranges_total') or 0)}",
-        file=out,
+    # With --read-ahead the engine's speculative batches replace the
+    # demand-path requests, counted under engine.* instead of vector.*.
+    trips = int(registry.value("vector.round_trips_total") or 0) + int(
+        registry.value("engine.speculative_batches_total") or 0
     )
+    ranges = int(registry.value("vector.ranges_total") or 0) + int(
+        registry.value("engine.speculative_ranges_total") or 0
+    )
+    print(f"round trips: {trips}, ranges: {ranges}", file=out)
     return 0
 
 

@@ -18,7 +18,7 @@ from repro.concurrency.effects import (
 )
 from repro.concurrency.promise import EffectLock, SimPromise, ThreadPromise
 from repro.concurrency.runtime import Runtime, TaskHandle
-from repro.concurrency.structures import Outcome, bounded_gather
+from repro.concurrency.structures import Outcome, TaskWindow, bounded_gather
 from repro.concurrency.sim_runtime import SimRuntime
 from repro.concurrency.thread_runtime import ThreadRuntime
 
@@ -40,6 +40,7 @@ __all__ = [
     "Sleep",
     "Spawn",
     "Outcome",
+    "TaskWindow",
     "bounded_gather",
     "Runtime",
     "TaskHandle",

@@ -2,9 +2,12 @@
 
 Public surface:
 
-* :class:`Context` / :class:`RequestParams` — configuration;
+* :class:`Context` / :class:`RequestParams` / :class:`TransferConfig`
+  — configuration;
 * :class:`DavixClient` — synchronous facade over any runtime;
 * :class:`DavFile` / :class:`DavPosix` — effect-level file APIs;
+* :class:`TransferEngine` — the pipelined read-ahead window behind
+  ``DavFile.prefetch`` / ``TransferConfig(read_ahead=True)``;
 * :func:`with_failover` / :func:`multistream_download` — Metalink
   strategies;
 * :func:`run_parallel` — pool-based parallel dispatch;
@@ -14,6 +17,8 @@ Public surface:
 from repro.core.client import DavixClient
 from repro.core.context import Context, MetalinkMode, RequestParams
 from repro.core.dispatch import JobResult, run_parallel
+from repro.core.engine import TransferEngine
+from repro.core.transfer import TransferConfig
 from repro.core.failover import with_failover
 from repro.core.file import DavFile, FileStat
 from repro.core.multistream import (
@@ -49,6 +54,8 @@ __all__ = [
     "Context",
     "MetalinkMode",
     "RequestParams",
+    "TransferConfig",
+    "TransferEngine",
     "JobResult",
     "run_parallel",
     "with_failover",

@@ -17,10 +17,11 @@ overrides applied on top of the context default.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.concurrency.runtime import Runtime
-from repro.core.context import Context, RequestParams
+from repro.core.context import Context, RequestParams, TransferConfig
 from repro.core.dispatch import run_parallel
 from repro.core.failover import with_failover
 from repro.core.file import DavFile, FileStat
@@ -209,23 +210,49 @@ class DavixClient:
         reads: Sequence[Tuple[int, int]],
         params: Optional[RequestParams] = None,
         max_inflight: Optional[int] = None,
+        transfer: Optional[TransferConfig] = None,
+        read_ahead: Optional[bool] = None,
     ) -> List[bytes]:
         """Vectored read: the paper's Section 2.3 in one call.
 
-        ``max_inflight`` (when given) overrides
-        ``params.vector_max_inflight``: how many multi-range batches
-        may be in flight concurrently, each on its own pooled session.
+        ``transfer`` (when given) overrides ``params.transfer`` — the
+        single bundle steering batch parallelism and the read-ahead
+        engine. ``read_ahead`` arms (or pins off) the pipelined
+        engine for this call regardless of the config.
+
+        .. deprecated:: ``max_inflight`` — pass
+           ``transfer=TransferConfig(max_inflight=...)`` instead.
         """
-        overrides = (
-            {"vector_max_inflight": max_inflight}
-            if max_inflight is not None
-            else {}
+        overrides = {}
+        if transfer is not None:
+            overrides["transfer"] = transfer
+        if max_inflight is not None:
+            warnings.warn(
+                "pread_vec(max_inflight=...) is deprecated; pass "
+                "transfer=TransferConfig(max_inflight=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if "transfer" not in overrides:
+                base = (
+                    params if params is not None else self.context.params
+                ).effective_transfer()
+                overrides["transfer"] = base.with_(
+                    max_inflight=max_inflight
+                )
+        file = DavFile(
+            self.context,
+            url,
+            self._resolve_params(params, **overrides),
+            read_ahead=read_ahead,
         )
-        return self.runtime.run(
-            DavFile(
-                self.context, url, self._resolve_params(params, **overrides)
-            ).pread_vec(reads)
-        )
+
+        def op():
+            results = yield from file.pread_vec(reads)
+            yield from file.drain()
+            return results
+
+        return self.runtime.run(op())
 
     # -- resilience (Section 2.4) ----------------------------------------------------
 

@@ -16,15 +16,17 @@ sessions, vectored I/O, failover) — see ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.core.pool import SessionPool
+from repro.core.transfer import TransferConfig
 from repro.net.tcp import TcpOptions
 from repro.obs import EventLog, MetricsRegistry, SloTracker, Tracer
 from repro.resilience import BreakerBoard, BreakerConfig, RetryPolicy
 
-__all__ = ["MetalinkMode", "RequestParams", "Context"]
+__all__ = ["MetalinkMode", "RequestParams", "TransferConfig", "Context"]
 
 
 class MetalinkMode:
@@ -81,11 +83,16 @@ class RequestParams:
     max_vector_ranges: int = 256
     #: Merge fragments whose gap is below this many bytes.
     vector_gap: int = 512
-    #: Maximum multi-range requests of one vectored read in flight at
-    #: once (1 = sequential dispatch, the historical behaviour). Each
-    #: in-flight batch runs on its own pooled session with its own
-    #: retry/deadline/breaker envelope.
+    #: .. deprecated:: superseded by ``transfer.max_inflight``; kept as
+    #:    a one-release alias (see :meth:`effective_transfer`). Maximum
+    #:    multi-range requests of one vectored read in flight at once.
     vector_max_inflight: int = 1
+
+    # -- transfer engine ------------------------------------------------------
+    #: The unified I/O-engine bundle (parallelism + read-ahead). When
+    #: set it is authoritative; the deprecated scattered knobs above
+    #: are ignored.
+    transfer: Optional[TransferConfig] = None
 
     # -- Metalink (Section 2.4) --------------------------------------------------
     metalink_mode: str = MetalinkMode.FAILOVER
@@ -149,6 +156,27 @@ class RequestParams:
             jitter="none",
         )
 
+    def effective_transfer(self, warn: bool = False) -> TransferConfig:
+        """The operative :class:`~repro.core.transfer.TransferConfig`.
+
+        ``transfer`` when set; otherwise the deprecated
+        ``vector_max_inflight`` knob expressed as an equivalent config
+        (read-ahead off) so old configurations behave exactly as
+        before. With ``warn=True`` a :class:`DeprecationWarning` is
+        emitted when that legacy fallback actually changes behaviour —
+        i.e. ``vector_max_inflight`` was set away from its default.
+        """
+        if self.transfer is not None:
+            return self.transfer
+        if warn and self.vector_max_inflight != 1:
+            warnings.warn(
+                "RequestParams.vector_max_inflight is deprecated; pass "
+                "transfer=TransferConfig(max_inflight=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return TransferConfig(max_inflight=self.vector_max_inflight)
+
     def replace(self, **changes) -> "RequestParams":
         """A copy with the given fields replaced (the uniform override
         primitive every client method routes through)."""
@@ -181,8 +209,13 @@ class Context:
         pool_idle_ttl: Optional[float] = None,
         events: Optional[EventLog] = None,
         slo: Optional[SloTracker] = None,
+        transfer: Optional[TransferConfig] = None,
     ):
         self.params = params or RequestParams()
+        if transfer is not None:
+            # Convenience spelling: Context(transfer=...) folds the
+            # engine config into the context-wide default params.
+            self.params = self.params.with_(transfer=transfer)
         #: Injected time source (simulated or monotonic); settable so
         #: blacklist TTLs follow the right clock.
         self.clock = clock or (lambda: 0.0)

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.concurrency import bounded_gather
 from repro.core.context import Context, RequestParams
+from repro.core.engine import TransferEngine
 from repro.core.request import execute_request
 from repro.core.vectored import (
     PartTable,
@@ -42,7 +43,7 @@ from repro.http import (
     decode_byteranges,
     format_range_header,
 )
-from repro.http.multipart import content_type_boundary
+from repro.http.multipart import MultipartStream, content_type_boundary
 from repro.http.ranges import parse_content_range
 from repro.metalink import METALINK_MEDIA_TYPE, Metalink, parse_metalink
 
@@ -73,17 +74,65 @@ def raise_for_status(response: Response, path: str) -> None:
 
 
 class DavFile:
-    """One remote resource addressed by URL."""
+    """One remote resource addressed by URL.
+
+    ``read_ahead`` overrides ``params.transfer.read_ahead`` for this
+    file: ``True`` arms the pipelined transfer engine
+    (:class:`~repro.core.engine.TransferEngine`), ``False`` pins the
+    demanded path, ``None`` (default) follows the config.
+    """
 
     def __init__(
         self,
         context: Context,
         url,
         params: Optional[RequestParams] = None,
+        read_ahead: Optional[bool] = None,
     ):
         self.context = context
         self.url = url if isinstance(url, Url) else Url.parse(url)
         self.params = params or context.params
+        self.transfer = self.params.effective_transfer()
+        armed = (
+            self.transfer.read_ahead if read_ahead is None else read_ahead
+        )
+        self._engine: Optional[TransferEngine] = (
+            TransferEngine(self, self.transfer) if armed else None
+        )
+
+    # -- read-ahead engine --------------------------------------------------
+
+    @property
+    def read_ahead_enabled(self) -> bool:
+        """Is the pipelined transfer engine armed on this file?"""
+        return self._engine is not None
+
+    @property
+    def engine(self) -> Optional[TransferEngine]:
+        """The armed :class:`TransferEngine`, if any (stats, window)."""
+        return self._engine
+
+    def prefetch(self, segments: Sequence[Tuple[int, int]]) -> TransferEngine:
+        """Feed ``(offset, length)`` segments to the read-ahead plan.
+
+        Arms the transfer engine if it is not already; pure
+        bookkeeping — speculative fetches launch lazily as subsequent
+        ``pread``/``pread_vec`` calls pump the window. Returns the
+        engine (stats and window state live there).
+        """
+        if self._engine is None:
+            self._engine = TransferEngine(self, self.transfer)
+        self._engine.prefetch(segments)
+        return self._engine
+
+    def drain(self):
+        """Effect sub-op: join outstanding speculative fetches.
+
+        Call before tearing down the runtime when read-ahead is armed;
+        a no-op otherwise.
+        """
+        if self._engine is not None:
+            yield from self._engine.drain()
 
     # -- metadata ---------------------------------------------------------------
 
@@ -184,9 +233,23 @@ class DavFile:
     # -- positional I/O -----------------------------------------------------------
 
     def pread(self, offset: int, length: int):
-        """Effect sub-op: read ``length`` bytes at ``offset``."""
+        """Effect sub-op: read ``length`` bytes at ``offset``.
+
+        With the transfer engine armed the read is first offered to
+        the speculative window (a plan hit costs no round trip); a
+        miss falls through to the demanded single-range request.
+        """
         if length == 0:
             return b""
+        if self._engine is not None:
+            hit = yield from self._engine.read_single(offset, length)
+            if hit is not None:
+                return hit
+        data = yield from self._pread_demand(offset, length)
+        return data
+
+    def _pread_demand(self, offset: int, length: int):
+        """The demanded single-range read (no speculation)."""
         header = format_range_header(
             [RangeSpec.from_offset_length(offset, length)]
         )
@@ -211,14 +274,29 @@ class DavFile:
         and packed into at most ``ceil(n_ranges/max_vector_ranges)``
         multi-range requests, each answered by one
         ``multipart/byteranges`` response. With
-        ``params.vector_max_inflight > 1`` the batches dispatch
+        ``transfer.max_inflight > 1`` the batches dispatch
         concurrently, each on its own pooled session with its own
         retry/deadline/breaker envelope; partial responses refetch only
-        their ``missing_ranges``. The decode → scatter path is
-        zero-copy (``memoryview`` slices over each response buffer)
-        until the per-fragment ``bytes`` materialise — the only copy,
-        accounted in ``vector.copy_bytes_total``.
+        their ``missing_ranges``. With the transfer engine armed
+        (``transfer.read_ahead`` / :meth:`prefetch`) the reads route
+        through the speculative window instead. The decode → scatter
+        path is zero-copy (``memoryview`` slices over each response
+        buffer) until the per-fragment ``bytes`` materialise — the
+        only copy, accounted in ``vector.copy_bytes_total``.
         """
+        transfer = self.params.effective_transfer(warn=True)
+        if self._engine is not None:
+            results = yield from self._engine.read_vec(reads)
+            return results
+        results = yield from self._pread_vec_demand(
+            reads, transfer.max_inflight
+        )
+        return results
+
+    def _pread_vec_demand(
+        self, reads: Sequence[Tuple[int, int]], max_inflight: int = 1
+    ):
+        """The demanded vectored read: plan, fetch, scatter."""
         plan = plan_vector(
             reads,
             max_ranges=self.params.max_vector_ranges,
@@ -244,7 +322,7 @@ class DavFile:
             max(0, plan.total_request_bytes - plan.requested_bytes)
         )
 
-        inflight = min(self.params.vector_max_inflight, len(plan.batches))
+        inflight = min(max_inflight, len(plan.batches))
         span = self.context.tracer.start(
             "pread-vec",
             url=str(self.url),
@@ -311,14 +389,14 @@ class DavFile:
         )
         return scattered
 
-    def _fetch_batch_covered(self, batch, parent_span=None):
+    def _fetch_batch_covered(self, batch, parent_span=None, stream=False):
         """Fetch one batch, re-requesting any ranges the response left
         uncovered (a reset mid-multipart-body, a server honouring only
         some ranges). Multi-range GETs are idempotent, so the refetch
         is always retry-safe; rounds are bounded by the retry policy's
         attempt budget.
         """
-        parts = yield from self._fetch_batch(batch, parent_span)
+        parts = yield from self._fetch_batch(batch, parent_span, stream)
         rounds = self.params.effective_retry_policy().max_attempts - 1
         missing = missing_ranges(batch, parts)
         while missing and rounds > 0:
@@ -329,23 +407,58 @@ class DavFile:
             self.context.metrics.counter(
                 "vector.refetch_ranges_total"
             ).inc(len(missing))
-            more = yield from self._fetch_batch(missing, parent_span)
+            more = yield from self._fetch_batch(missing, parent_span, stream)
             parts.merge(more)
             missing = missing_ranges(batch, parts)
         # Still-missing ranges surface through scatter_parts, which
         # raises the caller-facing RequestError.
         return parts
 
-    def _fetch_batch(self, batch, parent_span=None):
-        """One multi-range request -> :class:`PartTable` of views."""
+    def _fetch_batch(self, batch, parent_span=None, stream=False):
+        """One multi-range request -> :class:`PartTable` of views.
+
+        With ``stream=True`` a multipart body decodes incrementally as
+        chunks arrive (:class:`~repro.http.multipart.MultipartStream`
+        behind a streaming sink), overlapping decode with the transfer
+        — the engine's speculative path. Each retry attempt gets a
+        fresh decoder; non-multipart responses fall back to buffering.
+        """
         specs = [
             RangeSpec.from_offset_length(rng.offset, rng.length)
             for rng in batch
         ]
         headers = Headers([("Range", format_range_header(specs))])
         request = Request("GET", self.url.target, headers)
+
+        streamed: Dict[str, object] = {}
+        sink_factory = None
+        if stream:
+            def sink_factory(head: Response):
+                content_type = head.content_type
+                if head.status != 206 or not content_type.lower().startswith(
+                    "multipart/byteranges"
+                ):
+                    return None
+                try:
+                    boundary = content_type_boundary(content_type)
+                except HttpParseError:
+                    return None  # buffered decode reports the error
+                decoder = MultipartStream(boundary)
+                streamed["decoder"] = decoder
+                streamed["seconds"] = 0.0
+
+                def sink(chunk: bytes) -> None:
+                    started = self.context.clock()
+                    decoder.feed(chunk)
+                    streamed["seconds"] += (
+                        self.context.clock() - started
+                    )
+
+                return sink
+
         response, _ = yield from execute_request(
             self.context, self.url, request, self.params,
+            sink_factory=sink_factory,
             idempotent=True,
             parent_span=parent_span,
         )
@@ -354,17 +467,26 @@ class DavFile:
         if response.status == 206:
             content_type = response.content_type
             if content_type.lower().startswith("multipart/byteranges"):
-                decode_started = self.context.clock()
-                try:
-                    boundary = content_type_boundary(content_type)
-                    parts = decode_byteranges(
-                        response.body, boundary, copy=False
-                    )
-                except HttpParseError as exc:
-                    raise RequestError(
-                        f"bad multipart response: {exc}"
-                    ) from exc
-                decode_seconds = self.context.clock() - decode_started
+                if streamed.get("decoder") is not None and not response.body:
+                    try:
+                        parts = streamed["decoder"].close()
+                    except HttpParseError as exc:
+                        raise RequestError(
+                            f"bad multipart response: {exc}"
+                        ) from exc
+                    decode_seconds = streamed["seconds"]
+                else:
+                    decode_started = self.context.clock()
+                    try:
+                        boundary = content_type_boundary(content_type)
+                        parts = decode_byteranges(
+                            response.body, boundary, copy=False
+                        )
+                    except HttpParseError as exc:
+                        raise RequestError(
+                            f"bad multipart response: {exc}"
+                        ) from exc
+                    decode_seconds = self.context.clock() - decode_started
                 self.context.metrics.histogram(
                     "request.phase_seconds", phase="multipart-decode"
                 ).observe(decode_seconds)

@@ -22,15 +22,12 @@ attached, every event also lands there as
 ``pool.acquire_total{outcome=...}`` / ``pool.release_total{outcome=...}``
 / ``pool.evicted_total`` series, plus the shard-level
 ``pool.shard.idle{shard=...}`` gauges and
-``pool.shard.contended_total{shard=...}`` lock-contention counters. The
-legacy dict-style access (``pool.stats["hits"]``) still works through a
-deprecation shim.
+``pool.shard.contended_total{shard=...}`` lock-contention counters.
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 import zlib
 from collections import deque
 from dataclasses import dataclass
@@ -89,64 +86,6 @@ class PoolStats:
         }
 
 
-class _StatsAccessor:
-    """Callable/deprecation bridge behind the ``pool.stats`` attribute.
-
-    ``pool.stats()`` is the supported API and returns a frozen
-    :class:`PoolStats`. The historical dict operations
-    (``pool.stats["hits"]``, ``pool.stats == {...}``) keep working but
-    emit a :class:`DeprecationWarning`.
-    """
-
-    def __init__(self, pool: "SessionPool"):
-        self._pool = pool
-
-    def __call__(self) -> PoolStats:
-        return self._pool._snapshot()
-
-    def _warn(self) -> None:
-        warnings.warn(
-            "dict-style SessionPool.stats access is deprecated; call "
-            "pool.stats() for a PoolStats snapshot",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, key: str) -> int:
-        self._warn()
-        return self._pool._counters[key]
-
-    def __eq__(self, other) -> bool:
-        if isinstance(other, dict):
-            self._warn()
-            return dict(self._pool._counters) == other
-        if isinstance(other, PoolStats):
-            return self._pool._snapshot() == other
-        return NotImplemented
-
-    def __iter__(self):
-        self._warn()
-        return iter(dict(self._pool._counters))
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._pool._counters
-
-    def keys(self):
-        self._warn()
-        return dict(self._pool._counters).keys()
-
-    def items(self):
-        self._warn()
-        return dict(self._pool._counters).items()
-
-    def get(self, key: str, default=None):
-        self._warn()
-        return self._pool._counters.get(key, default)
-
-    def __repr__(self) -> str:
-        return f"<pool.stats accessor {self._pool._snapshot()!r}>"
-
-
 class _Shard:
     """One independent sub-pool: its own lock, free-lists and counters."""
 
@@ -189,7 +128,6 @@ class SessionPool:
         #: Optional :class:`~repro.obs.MetricsRegistry` mirror.
         self.metrics = metrics
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
-        self.stats = _StatsAccessor(self)
 
     # -- sharding -------------------------------------------------------------
 
@@ -233,6 +171,10 @@ class SessionPool:
             for name in _COUNTER_NAMES:
                 totals[name] += shard.counters[name]
         return totals
+
+    def stats(self) -> PoolStats:
+        """Frozen point-in-time :class:`PoolStats` snapshot."""
+        return self._snapshot()
 
     def _snapshot(self) -> PoolStats:
         return PoolStats(idle=self._idle_total(), **self._counters)

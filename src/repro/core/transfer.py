@@ -1,0 +1,76 @@
+"""TransferConfig: the unified I/O-engine tuning bundle.
+
+Historically the client's parallelism knobs were scattered across the
+API surface: ``RequestParams.vector_max_inflight``,
+``pread_vec(max_inflight=)`` and the ``davix-tool
+--parallel/--max-inflight`` flags each steered a different corner of
+the same machinery. :class:`TransferConfig` replaces all of them with
+one frozen bundle carried on
+:class:`~repro.core.context.RequestParams` (``transfer=``): how many
+requests a file operation may keep in flight, whether the pipelined
+read-ahead engine (:mod:`repro.core.engine`) is armed, and the bounds
+of its speculative sliding window.
+
+The old names keep working for one release as deprecation aliases —
+they warn and map onto an equivalent ``TransferConfig`` (see
+``RequestParams.effective_transfer``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TransferConfig"]
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """How a file's bytes move: parallelism and read-ahead in one place.
+
+    ``max_inflight`` bounds concurrent requests of one demand-side
+    operation (vectored-read batches, multistream chunks); the window
+    fields bound the *speculative* side — how many planned batches the
+    transfer engine keeps in flight ahead of the application.
+    """
+
+    #: Concurrent in-flight requests per file operation (1 = the
+    #: historical sequential dispatch).
+    max_inflight: int = 1
+    #: Arm the pipelined read-ahead engine: vectored reads route
+    #: through a sliding window of speculative batches.
+    read_ahead: bool = False
+    #: Speculative batches in flight when the window opens.
+    window_batches: int = 4
+    #: Floor the window shrinks to on errors / off-plan access.
+    min_window_batches: int = 1
+    #: Ceiling the window grows to while speculation keeps hitting.
+    max_window_batches: int = 16
+    #: Cap on speculative bytes outstanding at once.
+    window_bytes: int = 32 * 1024 * 1024
+    #: Decode multipart bodies incrementally as chunks arrive
+    #: (speculative fetches only), overlapping decode with transfer.
+    stream_decode: bool = True
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.min_window_batches < 1:
+            raise ValueError("min_window_batches must be >= 1")
+        if not (
+            self.min_window_batches
+            <= self.window_batches
+            <= self.max_window_batches
+        ):
+            raise ValueError(
+                "window_batches must satisfy min <= initial <= max"
+            )
+        if self.window_bytes < 1:
+            raise ValueError("window_bytes must be >= 1")
+
+    def replace(self, **changes) -> "TransferConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def with_(self, **changes) -> "TransferConfig":
+        """Alias of :meth:`replace` (the historical spelling)."""
+        return self.replace(**changes)

@@ -18,6 +18,7 @@ from repro.http.ranges import format_content_range, parse_content_range
 
 __all__ = [
     "RangePart",
+    "MultipartStream",
     "make_boundary",
     "encode_byteranges",
     "decode_byteranges",
@@ -159,6 +160,117 @@ def decode_byteranges(
             raise HttpParseError("part data not followed by CRLF")
         cursor += 2
         parts.append(RangePart(offset=offset, data=data, total=total))
+
+
+class MultipartStream:
+    """Incremental multipart/byteranges decoder (sans-io).
+
+    Feed body chunks as they arrive off the wire; completed
+    :class:`RangePart` objects accumulate in :attr:`parts` as soon as
+    their bytes are in hand. This lets the transfer engine overlap
+    multipart decode with the transfer itself — by the time the last
+    chunk lands, every earlier part is already decoded — instead of
+    parsing the fully buffered body afterwards.
+
+    Grammar and error behaviour match :func:`decode_byteranges`
+    exactly; :meth:`close` raises :class:`HttpParseError` when the
+    stream ends before the closing delimiter.
+    """
+
+    _SEEK, _DELIM, _HEADERS, _DATA, _DONE = range(5)
+
+    def __init__(self, boundary: str):
+        self._delim = f"--{boundary}".encode("ascii")
+        self._closing = self._delim + b"--"
+        self._buffer = bytearray()
+        self._state = self._SEEK
+        self._pending = None  # (offset, length, total) of the open part
+        self.parts: List[RangePart] = []
+
+    @property
+    def done(self) -> bool:
+        """Has the closing delimiter been consumed?"""
+        return self._state == self._DONE
+
+    def feed(self, chunk: bytes) -> None:
+        """Consume one body chunk, emitting any parts it completes."""
+        if self._state == self._DONE:
+            return  # epilogue after the closing delimiter is ignored
+        self._buffer.extend(chunk)
+        self._advance()
+
+    def close(self) -> List[RangePart]:
+        """Signal end-of-body; returns the decoded parts.
+
+        Raises :class:`HttpParseError` when the body ended mid-part or
+        before the closing delimiter — the same truncation errors the
+        buffered decoder raises.
+        """
+        if self._state != self._DONE:
+            if self._state == self._DATA:
+                raise HttpParseError("truncated part: body ended early")
+            if self._state == self._HEADERS:
+                raise HttpParseError("part headers not terminated")
+            raise HttpParseError("multipart body without terminator")
+        return self.parts
+
+    def _advance(self) -> None:
+        buf = self._buffer
+        while True:
+            if self._state == self._SEEK:
+                # A preamble is legal and ignored; keep only enough
+                # tail to recognise a delimiter split across chunks.
+                start = buf.find(self._delim)
+                if start < 0:
+                    if len(buf) > len(self._delim):
+                        del buf[: len(buf) - len(self._delim)]
+                    return
+                del buf[:start]
+                self._state = self._DELIM
+            elif self._state == self._DELIM:
+                # Need delim + 2 bytes to tell "--boundary\r\n" (next
+                # part) apart from "--boundary--" (closing).
+                if len(buf) < len(self._delim) + 2:
+                    return
+                if buf.startswith(self._closing):
+                    self._state = self._DONE
+                    del buf[:]
+                    return
+                if not buf.startswith(self._delim + _CRLF):
+                    raise HttpParseError("delimiter not followed by CRLF")
+                del buf[: len(self._delim) + 2]
+                self._state = self._HEADERS
+            elif self._state == self._HEADERS:
+                header_end = buf.find(_CRLF + _CRLF)
+                if header_end < 0:
+                    return
+                headers = _parse_part_headers(bytes(buf[:header_end]))
+                del buf[: header_end + 4]
+                content_range = headers.get("Content-Range")
+                if content_range is None:
+                    raise HttpParseError("part without Content-Range")
+                offset, length, total = parse_content_range(content_range)
+                if total is None:
+                    raise HttpParseError(
+                        "part Content-Range without total size"
+                    )
+                self._pending = (offset, length, total)
+                self._state = self._DATA
+            elif self._state == self._DATA:
+                offset, length, total = self._pending
+                if len(buf) < length + 2:
+                    return
+                data = bytes(buf[:length])
+                if not buf.startswith(_CRLF, length):
+                    raise HttpParseError("part data not followed by CRLF")
+                del buf[: length + 2]
+                self.parts.append(
+                    RangePart(offset=offset, data=data, total=total)
+                )
+                self._pending = None
+                self._state = self._DELIM
+            else:  # _DONE
+                return
 
 
 def _parse_part_headers(blob: bytes) -> Headers:

@@ -16,6 +16,9 @@ ttfb            request sent until the first response byte arrives
 body-transfer   first response byte until the body completes
 multipart-decode decoding a multipart/byteranges body into parts
                 (recorded by the vectored-read layer)
+readahead-wait  demanded read blocked on an in-flight speculative
+                batch (recorded by the transfer engine; the portion
+                of a prefetch the application did *not* overlap)
 ============== =====================================================
 
 The mechanics are a :class:`PhaseRecorder`: the request path drops a
@@ -42,6 +45,7 @@ PHASES = (
     "ttfb",
     "body-transfer",
     "multipart-decode",
+    "readahead-wait",
 )
 
 
@@ -60,6 +64,7 @@ class RequestTimings:
     ttfb: float = 0.0
     body_transfer: float = 0.0
     multipart_decode: float = 0.0
+    readahead_wait: float = 0.0
 
     @property
     def total(self) -> float:

@@ -20,17 +20,38 @@ __all__ = ["DavixFetcher", "XrootdFetcher"]
 
 
 class DavixFetcher:
-    """Tree fetcher over the davix HTTP client (TDavixFile)."""
+    """Tree fetcher over the davix HTTP client (TDavixFile).
+
+    With the transfer engine armed (``read_ahead=True`` or
+    ``params.transfer.read_ahead``), feed the upcoming access sequence
+    through :meth:`plan` and the file pipelines speculative
+    multi-range fetches ahead of consumption — the HTTP counterpart
+    of :class:`XrootdFetcher`'s sliding window.
+    """
 
     def __init__(
         self,
         context: Context,
         url,
         params: Optional[RequestParams] = None,
+        read_ahead: Optional[bool] = None,
     ):
-        self.file = DavFile(context, url, params)
+        self.file = DavFile(context, url, params, read_ahead=read_ahead)
         self.reads = 0
         self.bytes_fetched = 0
+
+    def plan(self, segments) -> None:
+        """Announce the upcoming access sequence to the read-ahead.
+
+        A no-op unless the transfer engine is armed, so callers can
+        feed the plan unconditionally.
+        """
+        if self.file.read_ahead_enabled:
+            self.file.prefetch(segments)
+
+    def drain(self):
+        """Effect sub-op: join outstanding speculative fetches."""
+        yield from self.file.drain()
 
     def size(self):
         """Effect sub-op: remote file size (HEAD)."""

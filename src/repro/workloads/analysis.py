@@ -11,7 +11,9 @@ Calibration (documented in DESIGN.md/EXPERIMENTS.md):
 * per-event CPU + decompression are set so the LAN run lands near the
   paper's ~97 s;
 * both protocols refill the TTreeCache synchronously (one vectored
-  request per 100-event cluster);
+  request per 100-event cluster) by default; ``davix_readahead`` /
+  ``xrootd_readahead`` arm each side's client-level read-ahead
+  (davix: the pipelined transfer engine; XRootD: the sliding window);
 * XRootD's *sliding-window buffering* is modeled at the transport
   level: its connections run with a WAN-tuned TCP window
   (``XROOTD_TCP``), while the HTTP stack uses 2014-era OS defaults
@@ -32,7 +34,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.concurrency import Now, Sleep
-from repro.core.context import Context, RequestParams
+from repro.core.context import Context, RequestParams, TransferConfig
 from repro.net.tcp import TcpOptions
 from repro.rootio.fetchers import DavixFetcher, XrootdFetcher
 from repro.rootio.tree import TreeMeta
@@ -79,6 +81,13 @@ class AnalysisConfig:
     #: Optional client-level read-ahead window for XRootD (bytes);
     #: None = rely on the transport window alone (the Fig. 4 setup).
     xrootd_readahead: Optional[int] = None
+    #: Optional speculative window for davix's transfer engine
+    #: (bytes); None = the synchronous vectored refills of the paper's
+    #: 2014 client. Set, it arms ``TransferConfig(read_ahead=True)``
+    #: and pipelines HTTP multi-range fetches ahead of consumption.
+    davix_readahead: Optional[int] = None
+    #: Concurrent in-flight requests for davix's engine paths.
+    davix_max_inflight: int = 4
 
     def __post_init__(self):
         if not 0.0 < self.fraction <= 1.0:
@@ -112,6 +121,17 @@ class AnalysisReport:
         return self.events_read / self.wall_seconds
 
 
+def _consumption_plan(meta: TreeMeta, events: int, cluster: int):
+    """The access sequence in *consumption* order: cluster by cluster,
+    not global file order (branches are laid out sequentially)."""
+    plan = []
+    for start, stop in meta.clusters(cluster):
+        if start >= events:
+            break
+        plan.extend(meta.segments_for_entries(start, min(stop, events)))
+    return plan
+
+
 def _run_job(cache: TTreeCache, events: int, cfg: AnalysisConfig):
     """Effect sub-op shared by both protocols: the event loop."""
     start = yield Now()
@@ -136,12 +156,25 @@ def davix_analysis(
     server hosts sized-but-synthetic content).
     """
     params = params or context.params.with_(tcp_options=cfg.davix_tcp)
+    if cfg.davix_readahead:
+        params = params.with_(
+            transfer=TransferConfig(
+                max_inflight=cfg.davix_max_inflight,
+                read_ahead=True,
+                window_bytes=cfg.davix_readahead,
+            )
+        )
     fetcher = DavixFetcher(context, url, params)
     reader = TreeFileReader(fetcher)
     if meta is None:
         meta = yield from reader.open()
     else:
         reader.meta = meta
+    events = max(1, int(meta.n_entries * cfg.fraction))
+    if cfg.davix_readahead:
+        fetcher.plan(
+            _consumption_plan(meta, events, cfg.entries_per_cluster)
+        )
     cache = TTreeCache(
         reader,
         entries_per_cluster=cfg.entries_per_cluster,
@@ -149,8 +182,8 @@ def davix_analysis(
         decode=cfg.decode,
         decompress_bandwidth=cfg.decompress_bandwidth,
     )
-    events = max(1, int(meta.n_entries * cfg.fraction))
     wall = yield from _run_job(cache, events, cfg)
+    yield from fetcher.drain()
     return AnalysisReport(
         protocol="davix",
         events_read=events,
@@ -185,14 +218,9 @@ def xrootd_analysis(
         reader.meta = meta
     events = max(1, int(meta.n_entries * cfg.fraction))
     if cfg.xrootd_readahead:
-        # The plan must follow *consumption* order: cluster by cluster,
-        # not global file order (branches are laid out sequentially).
-        plan = []
-        for start, stop in meta.clusters(cfg.entries_per_cluster):
-            if start >= events:
-                break
-            plan.extend(meta.segments_for_entries(start, min(stop, events)))
-        fetcher.plan(plan)
+        fetcher.plan(
+            _consumption_plan(meta, events, cfg.entries_per_cluster)
+        )
     cache = TTreeCache(
         reader,
         entries_per_cluster=cfg.entries_per_cluster,

@@ -63,7 +63,7 @@ def test_real_session_reuse(live):
     store.put("/x", b"abc")
     for _ in range(4):
         client.get(f"{base}/x")
-    assert client.context.pool.stats["hits"] == 3
+    assert client.context.pool.stats().hits == 3
 
 
 def test_real_metalink_and_failover():

@@ -133,8 +133,8 @@ def test_sessions_are_recycled_across_operations():
     for _ in range(5):
         client.get("http://server/x")
     pool = client.context.pool
-    assert pool.stats["hits"] == 4
-    assert pool.stats["misses"] == 1
+    assert pool.stats().hits == 4
+    assert pool.stats().misses == 1
     # Only one TCP connection was ever made.
     assert app.requests_handled == 5
 
@@ -221,7 +221,7 @@ def test_stale_session_is_retried_transparently():
     env.run(until=env.now + 5.0)  # let the server's idle timer fire
     assert client.get("http://server/x") == b"abc"
     assert client.context.counters["retries"] == 1
-    assert client.context.pool.stats["hits"] == 1  # reuse was attempted
+    assert client.context.pool.stats().hits == 1  # reuse was attempted
 
 
 def test_server_connection_close_header_prevents_bad_recycling():

@@ -18,7 +18,7 @@ def test_rename_moves_object():
 def test_copy_duplicates_without_client_traffic():
     client, app, store, _ = davix_world()
     store.put("/src.bin", b"payload" * 1000)
-    before = client.context.pool.stats["misses"]
+    before = client.context.pool.stats().misses
     client.copy("http://server/src.bin", "http://server/dup.bin")
     assert store.read("/src.bin") == store.read("/dup.bin")
     # One COPY request; the 7 kB never crossed the wire as a body.

@@ -35,9 +35,9 @@ def test_pool_recycles_across_dispatched_jobs():
         store.put(f"/f{i}", b"data")
     urls = [f"http://server/f{i}" for i in range(9)]
     client.get_many(urls, concurrency=3)
-    stats = client.context.pool.stats
-    assert stats["misses"] <= 3
-    assert stats["hits"] >= 6
+    stats = client.context.pool.stats()
+    assert stats.misses <= 3
+    assert stats.hits >= 6
 
 
 def test_parallel_is_faster_than_serial_on_latency_bound_jobs():

@@ -29,7 +29,7 @@ ORIGIN = ("http", "h", 80)
 def test_acquire_from_empty_pool_is_miss():
     pool = SessionPool()
     assert pool.acquire(ORIGIN) is None
-    assert pool.stats["misses"] == 1
+    assert pool.stats().misses == 1
 
 
 def test_release_then_acquire_is_hit():
@@ -37,7 +37,8 @@ def test_release_then_acquire_is_hit():
     session = FakeSession()
     pool.release(session)
     assert pool.acquire(ORIGIN) is session
-    assert pool.stats == {
+    stats = pool.stats()
+    assert stats.as_dict() == {
         "hits": 1,
         "misses": 0,
         "recycled": 1,
@@ -69,7 +70,7 @@ def test_dirty_sessions_are_never_recycled():
     pool.release(session)
     assert session.discarded
     assert pool.acquire(ORIGIN) is None
-    assert pool.stats["discarded"] == 1
+    assert pool.stats().discarded == 1
 
 
 def test_session_dirtied_while_idle_is_skipped():
@@ -106,7 +107,7 @@ def test_max_age_evicts_on_acquire():
     now["t"] = 11.0
     assert pool.acquire(ORIGIN) is None
     assert session.discarded
-    assert pool.stats["evicted"] == 1
+    assert pool.stats().evicted == 1
 
 
 def test_clear_discards_everything():

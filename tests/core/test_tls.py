@@ -68,7 +68,7 @@ def test_keepalive_amortises_the_handshake():
     client.get("https://server/x")
     second = client.runtime.now() - start
     assert second < first / 2  # no second handshake
-    assert client.context.pool.stats["hits"] == 1
+    assert client.context.pool.stats().hits == 1
 
 
 def test_record_layer_slows_bulk_transfer():

@@ -1,16 +1,17 @@
-"""Parallel dispatch of vectored-read batches (``vector_max_inflight``).
+"""Parallel dispatch of vectored-read batches (``TransferConfig``).
 
 The plan's multi-range batches execute concurrently on pooled sessions;
 these tests pin the contract: byte-identical results to sequential
 dispatch, unchanged round-trip accounting, the zero-copy ``copy_bytes``
 invariant (exactly one materialising copy per fragment), the
-``vector.inflight`` gauge lifecycle, and a real wall-clock win on a
-high-latency link.
+``vector.inflight`` gauge lifecycle, a real wall-clock win on a
+high-latency link, and the deprecation aliases for the pre-unification
+knobs (``vector_max_inflight`` / ``pread_vec(max_inflight=)``).
 """
 
 import pytest
 
-from repro.core import RequestParams
+from repro.core import RequestParams, TransferConfig
 from repro.errors import RequestError
 
 from tests.helpers import davix_world
@@ -23,11 +24,16 @@ def reads_spread(count, length=512, stride=16_384):
     return [(i * stride, length) for i in range(count)]
 
 
-def world(max_inflight, latency=0.001, faults=None, retries=None):
+def world(max_inflight, latency=0.001, faults=None, retries=None, legacy=False):
+    knob = (
+        {"vector_max_inflight": max_inflight}
+        if legacy
+        else {"transfer": TransferConfig(max_inflight=max_inflight)}
+    )
     params = RequestParams(
         max_vector_ranges=4,
         vector_gap=0,
-        vector_max_inflight=max_inflight,
+        **knob,
         **({"retries": retries} if retries is not None else {}),
     )
     client, app, store, _ = davix_world(
@@ -82,10 +88,14 @@ def test_inflight_gauge_returns_to_zero():
     assert registry.value("vector.inflight") == 0
 
 
-def test_max_inflight_override_per_call():
+def test_transfer_override_per_call():
     reads = reads_spread(16)
     client, app = world(max_inflight=1)
-    client.pread_vec("http://server/blob", reads, max_inflight=4)
+    client.pread_vec(
+        "http://server/blob",
+        reads,
+        transfer=TransferConfig(max_inflight=4),
+    )
     assert (
         client.metrics().value("vector.parallel_dispatch_total") == 1
     )
@@ -95,6 +105,49 @@ def test_max_inflight_override_per_call():
 def test_inflight_validation():
     with pytest.raises(ValueError):
         RequestParams(vector_max_inflight=0)
+    with pytest.raises(ValueError):
+        TransferConfig(max_inflight=0)
+
+
+def test_deprecated_vector_max_inflight_warns_and_works():
+    """``RequestParams.vector_max_inflight`` keeps working for one
+    release but warns on use when no ``TransferConfig`` shadows it."""
+    reads = reads_spread(16)
+    client, app = world(max_inflight=4, legacy=True)
+    with pytest.warns(DeprecationWarning, match="vector_max_inflight"):
+        result = client.pread_vec("http://server/blob", reads)
+    assert result == [BLOB[o : o + n] for o, n in reads]
+    assert app.requests_handled == 4
+
+
+def test_deprecated_pread_vec_max_inflight_kwarg_warns():
+    reads = reads_spread(16)
+    client, app = world(max_inflight=1)
+    with pytest.warns(DeprecationWarning, match="max_inflight"):
+        client.pread_vec("http://server/blob", reads, max_inflight=4)
+    assert (
+        client.metrics().value("vector.parallel_dispatch_total") == 1
+    )
+    assert app.requests_handled == 4
+
+
+def test_transfer_config_silences_legacy_knob():
+    """An explicit TransferConfig shadows the deprecated field: no
+    warning even when both are set."""
+    import warnings
+
+    params = RequestParams(
+        max_vector_ranges=4,
+        vector_gap=0,
+        vector_max_inflight=2,
+        transfer=TransferConfig(max_inflight=4),
+    )
+    client, app, store, _ = davix_world(params=params)
+    store.put("/blob", BLOB)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        client.pread_vec("http://server/blob", reads_spread(16))
+    assert app.requests_handled == 4
 
 
 def test_parallel_beats_sequential_on_high_latency_link():

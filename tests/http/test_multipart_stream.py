@@ -1,0 +1,122 @@
+"""Incremental multipart/byteranges decoding (:class:`MultipartStream`).
+
+The transfer engine feeds response chunks into the streaming decoder as
+they arrive, so decode overlaps with the transfer. The contract: for
+*any* chunking of a valid body the streamed parts equal the buffered
+``decode_byteranges`` result, truncations raise the same
+``HttpParseError`` family, and delimiter text split across chunk
+boundaries never confuses the state machine.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HttpParseError
+from repro.http import (
+    RangePart,
+    decode_byteranges,
+    encode_byteranges,
+    make_boundary,
+)
+from repro.http.multipart import MultipartStream
+
+PARTS = [
+    RangePart(offset=0, data=b"hello", total=100),
+    RangePart(offset=50, data=b"world!" * 40, total=100),
+    RangePart(offset=90, data=b"\r\n--X\r\ntricky", total=100),
+]
+
+
+def stream_decode(body, boundary, chunk_size):
+    decoder = MultipartStream(boundary)
+    for start in range(0, len(body), chunk_size):
+        decoder.feed(body[start : start + chunk_size])
+    return decoder.close()
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, 10_000])
+def test_streamed_equals_buffered(chunk_size):
+    boundary = make_boundary()
+    body = encode_byteranges(PARTS, boundary)
+    assert stream_decode(body, boundary, chunk_size) == decode_byteranges(
+        body, boundary
+    )
+
+
+def test_done_after_terminator_and_epilogue_ignored():
+    body = encode_byteranges(PARTS[:1], "B")
+    decoder = MultipartStream("B")
+    decoder.feed(body)
+    assert decoder.done
+    decoder.feed(b"trailing epilogue noise")  # ignored per RFC 2046
+    assert decoder.close() == PARTS[:1]
+
+
+def test_boundary_split_across_chunks():
+    """The closing delimiter arriving one byte at a time must still
+    terminate the stream."""
+    body = encode_byteranges(PARTS, "SPLIT-ME")
+    head, tail = body[:-15], body[-15:]
+    decoder = MultipartStream("SPLIT-ME")
+    decoder.feed(head)
+    assert not decoder.done
+    for index in range(len(tail)):
+        decoder.feed(tail[index : index + 1])
+    assert decoder.done
+    assert decoder.close() == PARTS
+
+
+def test_truncated_part_body_raises():
+    body = encode_byteranges(PARTS, "B")
+    decoder = MultipartStream("B")
+    decoder.feed(body[: len(body) // 2])
+    with pytest.raises(HttpParseError, match="body ended early"):
+        decoder.close()
+
+
+def test_missing_terminator_raises():
+    parts = [RangePart(offset=0, data=b"xy", total=10)]
+    body = encode_byteranges(parts, "B")
+    assert body.endswith(b"--B--\r\n")
+    decoder = MultipartStream("B")
+    decoder.feed(body[: -len(b"--B--\r\n")])
+    with pytest.raises(HttpParseError, match="without terminator"):
+        decoder.close()
+
+
+def test_unterminated_headers_raise():
+    decoder = MultipartStream("B")
+    decoder.feed(b"--B\r\nContent-Range: bytes 0-1/2")
+    with pytest.raises(HttpParseError, match="headers not terminated"):
+        decoder.close()
+
+
+def test_part_without_content_range_rejected():
+    decoder = MultipartStream("B")
+    with pytest.raises(HttpParseError):
+        decoder.feed(b"--B\r\nContent-Type: text/plain\r\n\r\nxx\r\n--B--\r\n")
+        decoder.close()
+
+
+@given(
+    parts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.binary(min_size=1, max_size=200),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    chunk_size=st.integers(min_value=1, max_value=300),
+)
+def test_property_any_chunking_matches_buffered(parts, chunk_size):
+    range_parts = [
+        RangePart(offset=offset, data=data, total=20_000)
+        for offset, data in parts
+    ]
+    boundary = make_boundary()
+    body = encode_byteranges(range_parts, boundary)
+    assert stream_decode(
+        body, boundary, chunk_size
+    ) == decode_byteranges(body, boundary)

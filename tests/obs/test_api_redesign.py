@@ -85,36 +85,25 @@ def test_pool_stats_callable_returns_frozen_snapshot():
     assert pool.stats().as_dict()["misses"] == 1
 
 
-def test_pool_stats_dict_access_warns_but_works():
+def test_pool_stats_dict_shim_is_gone():
+    # The PR-1 deprecation shim was removed after its one-release
+    # grace period: ``pool.stats`` is a plain bound method now.
     pool = SessionPool()
     pool.acquire(("http", "x", 80))
-    with pytest.warns(DeprecationWarning, match="pool.stats()"):
-        assert pool.stats["misses"] == 1
-    with pytest.warns(DeprecationWarning):
-        assert pool.stats == {
-            "hits": 0,
-            "misses": 1,
-            "recycled": 0,
-            "discarded": 0,
-            "evicted": 0,
-        }
-    with pytest.warns(DeprecationWarning):
-        assert set(pool.stats.keys()) == {
-            "hits",
-            "misses",
-            "recycled",
-            "discarded",
-            "evicted",
-        }
-    with pytest.warns(DeprecationWarning):
-        assert pool.stats.get("absent", 7) == 7
-    # Comparing against a PoolStats snapshot is the new path: no warning.
+    with pytest.raises(TypeError):
+        pool.stats["misses"]  # noqa: B018 - asserting the shim is gone
+    assert pool.stats().as_dict() == {
+        "hits": 0,
+        "misses": 1,
+        "recycled": 0,
+        "discarded": 0,
+        "evicted": 0,
+    }
     import warnings
 
     with warnings.catch_warnings():
         warnings.simplefilter("error")
-        assert pool.stats == pool.stats()
-        assert "hits" in pool.stats
+        assert pool.stats() == pool.stats()
 
 
 def test_hit_rate_property():

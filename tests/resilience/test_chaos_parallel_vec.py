@@ -10,7 +10,12 @@ runtime.
 
 import random
 
-from repro.core import BreakerConfig, RequestParams, RetryPolicy
+from repro.core import (
+    BreakerConfig,
+    RequestParams,
+    RetryPolicy,
+    TransferConfig,
+)
 from repro.obs import metrics_to_json_lines
 from repro.server import FaultPolicy
 
@@ -49,7 +54,7 @@ def run_schedule(schedule_seed, faults, max_inflight):
             retry_policy=POLICY,
             max_vector_ranges=4,
             vector_gap=0,
-            vector_max_inflight=max_inflight,
+            transfer=TransferConfig(max_inflight=max_inflight),
         ),
         breaker=BREAKER,
     )

@@ -99,15 +99,14 @@ def test_vec_summary_output(live):
     assert "round trips: 1" in output
 
 
-def test_vec_output_file_and_parallel_flags(live, tmp_path):
+def test_vec_output_file_and_inflight_flags(live, tmp_path):
     base, store, app = live
     payload = bytes(range(256)) * 256
     store.put("/big", payload)
     target = tmp_path / "frags.bin"
     code, output = run_cli(
         [
-            "--parallel",
-            "--max-inflight",
+            "--inflight",
             "2",
             "vec",
             f"{base}/big",
@@ -122,27 +121,78 @@ def test_vec_output_file_and_parallel_flags(live, tmp_path):
     assert "48 bytes (2 fragments)" in output
 
 
+def test_vec_read_ahead_flag(live, tmp_path):
+    base, store, app = live
+    payload = bytes(range(256)) * 256
+    store.put("/big", payload)
+    target = tmp_path / "ra.bin"
+    code, output = run_cli(
+        [
+            "--inflight",
+            "2",
+            "--read-ahead",
+            "vec",
+            f"{base}/big",
+            "0:16",
+            "65000:32",
+            "-o",
+            str(target),
+        ]
+    )
+    assert code == 0
+    assert target.read_bytes() == payload[0:16] + payload[65000:65032]
+
+
 def test_vec_rejects_malformed_range(live):
     base, store, app = live
     with pytest.raises(SystemExit):
         run_cli(["vec", f"{base}/big", "banana"])
 
 
-def test_parallel_flag_sets_params():
+def test_inflight_flag_sets_transfer_config():
     from repro.cli import _client
 
-    args = build_parser().parse_args(["--parallel", "stats"])
+    args = build_parser().parse_args(["--inflight", "7", "stats"])
     client = _client(args)
-    assert client.context.params.vector_max_inflight == 4
-    assert client.context.params.multistream_max_streams == 4
+    transfer = client.context.params.effective_transfer()
+    assert transfer.max_inflight == 7
+    assert transfer.read_ahead is False
+    assert client.context.params.multistream_max_streams == 7
 
-    args = build_parser().parse_args(["--max-inflight", "7", "stats"])
+    args = build_parser().parse_args(["--read-ahead", "stats"])
     client = _client(args)
-    assert client.context.params.vector_max_inflight == 7
+    transfer = client.context.params.effective_transfer()
+    assert transfer.read_ahead is True
+    # --read-ahead alone must not narrow the multistream default.
+    assert client.context.params.multistream_max_streams == 4
 
     args = build_parser().parse_args(["stats"])
     client = _client(args)
-    assert client.context.params.vector_max_inflight == 1
+    assert client.context.params.transfer is None
+    assert client.context.params.effective_transfer().max_inflight == 1
+
+
+def test_deprecated_parallel_flags_warn_and_map():
+    from repro.cli import _client
+
+    args = build_parser().parse_args(["--parallel", "stats"])
+    with pytest.warns(DeprecationWarning, match="--inflight 4"):
+        client = _client(args)
+    assert client.context.params.effective_transfer().max_inflight == 4
+    assert client.context.params.multistream_max_streams == 4
+
+    args = build_parser().parse_args(["--max-inflight", "7", "stats"])
+    with pytest.warns(DeprecationWarning, match="--inflight N"):
+        client = _client(args)
+    assert client.context.params.effective_transfer().max_inflight == 7
+
+    # Explicit --inflight wins over the deprecated spellings.
+    args = build_parser().parse_args(
+        ["--inflight", "2", "--max-inflight", "7", "stats"]
+    )
+    with pytest.warns(DeprecationWarning):
+        client = _client(args)
+    assert client.context.params.effective_transfer().max_inflight == 2
 
 
 def test_main_reports_errors(live, capsys):
