@@ -67,6 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
         "a sliding window of speculative batches in flight",
     )
     parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        metavar="N",
+        help="byte budget of the client page cache (0 = disabled, "
+        "the default): repeated and overlapping reads of the same "
+        "object are served from memory, validated by ETag",
+    )
+    parser.add_argument(
+        "--page-size",
+        type=int,
+        metavar="N",
+        help="page granularity of the client page cache "
+        "(default 65536)",
+    )
+    parser.add_argument(
         "--parallel",
         action="store_true",
         help="[deprecated: use --inflight 4] dispatch vectored-read "
@@ -303,11 +318,19 @@ def _transfer(args) -> Optional[TransferConfig]:
     """The unified TransferConfig the flags describe (None = defaults)."""
     inflight = _inflight(args)
     read_ahead = getattr(args, "read_ahead", False)
-    if inflight is None and not read_ahead:
+    cache_bytes = getattr(args, "cache_bytes", None)
+    page_size = getattr(args, "page_size", None)
+    if inflight is None and not read_ahead and cache_bytes is None:
         return None
+    extra = {}
+    if cache_bytes is not None:
+        extra["page_cache_bytes"] = cache_bytes
+    if page_size is not None:
+        extra["page_size"] = page_size
     return TransferConfig(
         max_inflight=inflight if inflight is not None else 1,
         read_ahead=read_ahead,
+        **extra,
     )
 
 

@@ -20,6 +20,7 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
+from repro.core.pagecache import PageCache
 from repro.core.pool import SessionPool
 from repro.core.transfer import TransferConfig
 from repro.net.tcp import TcpOptions
@@ -247,6 +248,12 @@ class Context:
             metrics=self.metrics,
             on_open=self.pool.purge_origin,
         )
+        #: The shared client page cache, created lazily by the first
+        #: file whose :class:`TransferConfig` arms it
+        #: (``page_cache_bytes > 0``); one per context so every
+        #: :class:`~repro.core.file.DavFile` of the same URL shares
+        #: pages.
+        self.page_cache: Optional[PageCache] = None
         #: policy seed -> shared RNG stream for backoff jitter, so
         #: repeated runs on a deterministic clock replay identical
         #: delay sequences across all requests.
@@ -264,6 +271,25 @@ class Context:
 
     def _now(self) -> float:
         return self.clock()
+
+    def page_cache_for(
+        self, transfer: TransferConfig
+    ) -> Optional[PageCache]:
+        """The shared :class:`PageCache` when ``transfer`` arms one.
+
+        Created on first demand (the first arming config fixes budget
+        and page size — it is one shared tier, not a per-file cache);
+        returns ``None`` while ``page_cache_bytes`` is 0.
+        """
+        if transfer.page_cache_bytes <= 0:
+            return None
+        if self.page_cache is None:
+            self.page_cache = PageCache(
+                budget_bytes=transfer.page_cache_bytes,
+                page_size=transfer.page_size,
+                metrics=self.metrics,
+            )
+        return self.page_cache
 
     def retry_rng(self, policy: RetryPolicy) -> random.Random:
         """The shared jitter RNG for ``policy`` (one stream per seed)."""

@@ -145,6 +145,13 @@ class TransferEngine:
 
     # -- window management --------------------------------------------------
 
+    def _segment_cached(self, segment: Segment) -> bool:
+        """Is this planned segment already served by the page cache?"""
+        cache = getattr(self.file, "_pagecache", None)
+        if cache is None:
+            return False
+        return cache.read(self.file._cache_key, *segment) is not None
+
     def _engine_span(self):
         if self._span is None:
             self._span = self.context.tracer.start(
@@ -169,6 +176,13 @@ class TransferEngine:
                 segment = self._plan.popleft()
                 if segment in self._dropped:
                     self._dropped.discard(segment)
+                    continue
+                if self._segment_cached(segment):
+                    # Already in the page cache: never spend wire on it.
+                    self._planned.discard(segment)
+                    self.context.metrics.counter(
+                        "engine.cache_skipped_segments_total"
+                    ).inc()
                     continue
                 segments.append(segment)
                 nbytes += segment[1]

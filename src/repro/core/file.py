@@ -16,7 +16,7 @@ offers the synchronous facade.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.concurrency import bounded_gather
 from repro.core.context import Context, RequestParams
@@ -60,6 +60,41 @@ class FileStat:
     etag: Optional[str] = None
 
 
+def _merge_spans(spans: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and merge overlapping/adjacent ``(offset, length)`` spans."""
+    merged: List[Tuple[int, int]] = []
+    for offset, length in sorted(spans):
+        if merged and offset <= merged[-1][0] + merged[-1][1]:
+            end = max(merged[-1][0] + merged[-1][1], offset + length)
+            merged[-1] = (merged[-1][0], end - merged[-1][0])
+        else:
+            merged.append((offset, length))
+    return merged
+
+
+def _content_range_total(response: Response) -> Optional[int]:
+    """The object size a ``Content-Range`` header reveals, if any.
+
+    Handles both the satisfied form (``bytes a-b/N``) and the 416
+    unsatisfied form (``bytes */N``), which is how a past-EOF probe
+    still teaches the cache the object's length.
+    """
+    value = response.headers.get("Content-Range")
+    if value is None:
+        return None
+    value = value.strip()
+    if value.lower().startswith("bytes */"):
+        try:
+            return int(value[len("bytes */"):].strip())
+        except ValueError:
+            return None
+    try:
+        _offset, _length, total = parse_content_range(value)
+    except HttpParseError:
+        return None
+    return total
+
+
 def raise_for_status(response: Response, path: str) -> None:
     """Map HTTP error statuses onto the davix exception hierarchy."""
     if response.status == 404:
@@ -99,6 +134,10 @@ class DavFile:
         self._engine: Optional[TransferEngine] = (
             TransferEngine(self, self.transfer) if armed else None
         )
+        # The page cache is context-owned (one per Context, shared by
+        # every file), so repeated opens of the same URL reuse pages.
+        self._cache_key = str(self.url)
+        self._pagecache = context.page_cache_for(self.transfer)
 
     # -- read-ahead engine --------------------------------------------------
 
@@ -235,18 +274,154 @@ class DavFile:
     def pread(self, offset: int, length: int):
         """Effect sub-op: read ``length`` bytes at ``offset``.
 
-        With the transfer engine armed the read is first offered to
-        the speculative window (a plan hit costs no round trip); a
-        miss falls through to the demanded single-range request.
+        With the page cache armed the cached pages are consulted
+        before anything leaves the process (a full hit costs no round
+        trip; a partial hit fetches only the missing page-aligned
+        spans). With the transfer engine armed the read is then
+        offered to the speculative window (a plan hit costs no round
+        trip); a miss falls through to the demanded single-range
+        request.
         """
         if length == 0:
             return b""
+        offset, length = int(offset), int(length)
+        if self._pagecache is not None:
+            data = yield from self._pread_cached(offset, length)
+            return data
         if self._engine is not None:
             hit = yield from self._engine.read_single(offset, length)
             if hit is not None:
                 return hit
         data = yield from self._pread_demand(offset, length)
         return data
+
+    # -- page-cache plumbing ------------------------------------------------
+
+    def _cache_insert(self, etag: Optional[str], pieces) -> None:
+        """Feed response bytes into the page cache (no-op when off).
+
+        ``pieces`` yields ``(offset, data, total)``; only pages fully
+        covered by a piece are stored, and a stale ETag invalidates
+        before anything lands (see :meth:`PageCache.insert`).
+        """
+        cache = self._pagecache
+        if cache is None:
+            return
+        for offset, data, total in pieces:
+            cache.insert(self._cache_key, etag, offset, data, total=total)
+
+    def _cache_probe(self, offset: int, length: int):
+        """Accounting cache lookup, timed as the ``cache-lookup`` phase."""
+        started = self.context.clock()
+        data, missing = self._pagecache.lookup(
+            self._cache_key, offset, length
+        )
+        self.context.metrics.histogram(
+            "request.phase_seconds", phase="cache-lookup"
+        ).observe(self.context.clock() - started)
+        return data, missing
+
+    def _pread_cached(self, offset: int, length: int):
+        """The cache-fronted positional read: probe, gap-fill, re-probe."""
+        cache = self._pagecache
+        data, missing = self._cache_probe(offset, length)
+        if data is not None:
+            return data
+        if self._engine is not None:
+            hit = yield from self._engine.read_single(offset, length)
+            if hit is not None:
+                return hit
+        # Fill only the missing page-aligned spans. The re-probe loop
+        # tolerates an ETag change mid-fill (the insert invalidates,
+        # widening the gaps) but gives up when filling stops making
+        # progress — a budget smaller than the read cannot converge.
+        for _ in range(3):
+            if missing:
+                yield from self._fetch_spans(missing)
+            data = cache.read(self._cache_key, offset, length)
+            if data is not None:
+                return data
+            again = cache.missing_spans(self._cache_key, offset, length)
+            if again == missing:
+                break
+            missing = again
+        data = yield from self._pread_demand(offset, length)
+        return data
+
+    def _fetch_spans(self, spans, parent_span=None):
+        """Effect sub-op: fetch ``(offset, length)`` spans into the cache.
+
+        The spans (page-aligned gaps from ``missing_spans``) pack into
+        coalesced multi-range GETs — at most ``max_vector_ranges`` per
+        request — and every response lands in the page cache under the
+        ETag it arrived with. Returns ``(etag, total)`` as learned
+        from the responses; the caller re-probes the cache for bytes.
+        """
+        etag = None
+        total = None
+        max_ranges = max(1, self.params.max_vector_ranges)
+        for start in range(0, len(spans), max_ranges):
+            batch = spans[start : start + max_ranges]
+            specs = [
+                RangeSpec.from_offset_length(o, n) for o, n in batch
+            ]
+            request = Request(
+                "GET",
+                self.url.target,
+                Headers([("Range", format_range_header(specs))]),
+            )
+            response, _ = yield from execute_request(
+                self.context, self.url, request, self.params,
+                idempotent=True,
+                parent_span=parent_span,
+            )
+            if response.status == 416:
+                # Past EOF: the unsatisfied Content-Range still
+                # teaches the cache the object's length.
+                total = _content_range_total(response)
+                if total is not None:
+                    self._cache_insert(
+                        response.headers.get("ETag"), [(0, b"", total)]
+                    )
+                continue
+            raise_for_status(response, self.url.path)
+            etag = response.headers.get("ETag")
+            if response.status == 206:
+                content_type = response.content_type
+                if content_type.lower().startswith("multipart/byteranges"):
+                    try:
+                        boundary = content_type_boundary(content_type)
+                        parts = decode_byteranges(
+                            response.body, boundary, copy=False
+                        )
+                    except HttpParseError as exc:
+                        raise RequestError(
+                            f"bad multipart response: {exc}"
+                        ) from exc
+                    for part in parts:
+                        if part.total is not None:
+                            total = part.total
+                    self._cache_insert(
+                        etag,
+                        [(p.offset, p.data, p.total) for p in parts],
+                    )
+                else:
+                    content_range = response.headers.get("Content-Range")
+                    if content_range is None:
+                        raise RequestError("206 without Content-Range")
+                    offset, _length, part_total = parse_content_range(
+                        content_range
+                    )
+                    if part_total is not None:
+                        total = part_total
+                    self._cache_insert(
+                        etag, [(offset, response.body, part_total)]
+                    )
+            else:
+                # 200: no range support — the whole object came back.
+                total = len(response.body)
+                self._cache_insert(etag, [(0, response.body, total)])
+        return etag, total
 
     def _pread_demand(self, offset: int, length: int):
         """The demanded single-range read (no speculation)."""
@@ -260,11 +435,32 @@ class DavFile:
             self.context, self.url, request, self.params
         )
         if response.status == 416:
+            total = _content_range_total(response)
+            if total is not None:
+                self._cache_insert(
+                    response.headers.get("ETag"), [(0, b"", total)]
+                )
             return b""  # read past EOF: POSIX-style short read
         raise_for_status(response, self.url.path)
         if response.status == 206:
+            content_range = response.headers.get("Content-Range")
+            if content_range is not None:
+                try:
+                    body_offset, _n, total = parse_content_range(
+                        content_range
+                    )
+                except HttpParseError:
+                    body_offset, total = offset, None
+                self._cache_insert(
+                    response.headers.get("ETag"),
+                    [(body_offset, response.body, total)],
+                )
             return response.body
         # Server ignored the Range header: slice the full body.
+        self._cache_insert(
+            response.headers.get("ETag"),
+            [(0, response.body, len(response.body))],
+        )
         return response.body[offset : offset + length]
 
     def pread_vec(self, reads: Sequence[Tuple[int, int]]):
@@ -285,12 +481,84 @@ class DavFile:
         only copy, accounted in ``vector.copy_bytes_total``.
         """
         transfer = self.params.effective_transfer(warn=True)
+        if self._pagecache is not None:
+            results = yield from self._pread_vec_cached(reads, transfer)
+            return results
         if self._engine is not None:
             results = yield from self._engine.read_vec(reads)
             return results
         results = yield from self._pread_vec_demand(
             reads, transfer.max_inflight
         )
+        return results
+
+    def _pread_vec_cached(self, reads: Sequence[Tuple[int, int]], transfer):
+        """The cache-fronted vectored read.
+
+        Each fragment is probed individually (per-fragment hit/miss
+        accounting); the misses' missing spans merge into one gap list
+        fetched as coalesced multi-range requests — or, with the
+        engine armed, the misses route through the speculative window
+        unchanged.
+        """
+        cache = self._pagecache
+        key = self._cache_key
+        reads = [(int(offset), int(length)) for offset, length in reads]
+        results: List[Optional[bytes]] = [None] * len(reads)
+        started = self.context.clock()
+        pending: List[int] = []
+        spans: List[Tuple[int, int]] = []
+        for index, (offset, length) in enumerate(reads):
+            if length == 0:
+                results[index] = b""
+                continue
+            data, missing = cache.lookup(key, offset, length)
+            if data is not None:
+                results[index] = data
+            else:
+                pending.append(index)
+                spans.extend(missing)
+        self.context.metrics.histogram(
+            "request.phase_seconds", phase="cache-lookup"
+        ).observe(self.context.clock() - started)
+        if not pending:
+            return results
+        if self._engine is not None:
+            pieces = yield from self._engine.read_vec(
+                [reads[index] for index in pending]
+            )
+            for index, piece in zip(pending, pieces):
+                results[index] = piece
+            return results
+        spans = _merge_spans(spans)
+        for _ in range(3):
+            if spans:
+                yield from self._fetch_spans(spans)
+            unresolved: List[int] = []
+            for index in pending:
+                data = cache.read(key, *reads[index])
+                if data is not None:
+                    results[index] = data
+                else:
+                    unresolved.append(index)
+            pending = unresolved
+            if not pending:
+                return results
+            again = _merge_spans(
+                [
+                    span
+                    for index in pending
+                    for span in cache.missing_spans(key, *reads[index])
+                ]
+            )
+            if again == spans:
+                break  # filling stopped converging: demand the rest
+            spans = again
+        pieces = yield from self._pread_vec_demand(
+            [reads[index] for index in pending], transfer.max_inflight
+        )
+        for index, piece in zip(pending, pieces):
+            results[index] = piece
         return results
 
     def _pread_vec_demand(
@@ -492,16 +760,28 @@ class DavFile:
                 ).observe(decode_seconds)
                 if parent_span is not None:
                     parent_span.set(multipart_decode=decode_seconds)
+                self._cache_insert(
+                    response.headers.get("ETag"),
+                    [(part.offset, part.data, part.total) for part in parts],
+                )
                 return PartTable.from_parts(
                     (part.offset, part.data) for part in parts
                 )
             content_range = response.headers.get("Content-Range")
             if content_range is None:
                 raise RequestError("206 without Content-Range")
-            offset, _length, _total = parse_content_range(content_range)
+            offset, _length, total = parse_content_range(content_range)
+            self._cache_insert(
+                response.headers.get("ETag"),
+                [(offset, response.body, total)],
+            )
             return PartTable.from_parts([(offset, response.body)])
         # 200: the server does not support (multi-)ranges — the whole
         # object came back; slice everything from it.
+        self._cache_insert(
+            response.headers.get("ETag"),
+            [(0, response.body, len(response.body))],
+        )
         return PartTable.from_parts([(0, response.body)])
 
     # -- metalink -----------------------------------------------------------------

@@ -1,0 +1,383 @@
+"""Client-side block/page cache for remote-file reads.
+
+The paper's case for HTTP (Section 2.2) is that it inherits the web's
+caching infrastructure — but an analysis job re-reading the same
+baskets still paid a round trip per read. This module is the missing
+client tier: a byte-budget LRU of fixed-size **pages** per remote
+object, consulted by :class:`~repro.core.file.DavFile` before any
+request leaves the process. Reads that only touch cached pages are
+served locally; partially cached reads fetch *only the missing
+page-aligned spans* (coalesced into one multi-range request by the
+caller); every insertion is validated against the object's ETag, so a
+store update invalidates the stale pages instead of mixing versions.
+
+One :class:`PageCache` is shared by every file of a
+:class:`~repro.core.context.Context` (arm it with
+``TransferConfig(page_cache_bytes=...)``); the range-aware caching
+proxy (:mod:`repro.server.proxy`) reuses the same store server-side.
+
+Pages are fixed-size (``page_size``); the only shorter page ever
+stored is the object's tail, and only once the total size is known
+(from a ``Content-Range`` total or a full-body response), so a cached
+page always means "these bytes are the whole truth for this span".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PageCache", "DEFAULT_PAGE_SIZE"]
+
+#: Default page size: two 32 KiB ROOT baskets per page.
+DEFAULT_PAGE_SIZE = 64 * 1024
+
+#: One ``(offset, length)`` byte span.
+Span = Tuple[int, int]
+
+
+class _Entry:
+    """Cached state of one remote object (one ETag version)."""
+
+    __slots__ = ("etag", "size", "pages")
+
+    def __init__(self, etag: Optional[str] = None):
+        self.etag = etag
+        #: Total object size, once learned (Content-Range total or a
+        #: full-body response). Gates tail-page storage and EOF clamping.
+        self.size: Optional[int] = None
+        #: page index -> page bytes (full ``page_size`` except the tail).
+        self.pages: Dict[int, bytes] = {}
+
+
+class PageCache:
+    """Byte-budget LRU of fixed-size pages, keyed by (url, page index).
+
+    All methods are thread-safe (one coarse lock): on the thread
+    runtime parallel vectored batches insert concurrently.
+
+    ``lookup`` is the accounting entry point — it classifies each
+    logical read as a hit, partial hit, or miss and feeds the
+    ``cache.*`` metrics; ``read`` is the same probe without accounting
+    (used when re-assembling after a gap fill).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        metrics=None,
+    ):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        self.budget_bytes = budget_bytes
+        self.page_size = page_size
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        #: (key, page index) -> page byte count, in LRU order.
+        self._lru: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        self._used = 0
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "partial_hits": 0,
+            "insertions": 0,
+            "evictions": 0,
+            "evicted_bytes": 0,
+            "invalidations": 0,
+            "origin_bytes_saved": 0,
+        }
+
+    # -- metric plumbing ------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(f"cache.{name}").inc(amount)
+
+    def _mirror_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("cache.used_bytes").set(self._used)
+            self.metrics.gauge("cache.pages").set(len(self._lru))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently held (always <= ``budget_bytes``)."""
+        return self._used
+
+    @property
+    def object_count(self) -> int:
+        """Distinct objects with at least one cached page."""
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.pages)
+
+    def etag(self, key: str) -> Optional[str]:
+        """The ETag the cached pages of ``key`` belong to."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.etag if entry is not None else None
+
+    def known_size(self, key: str) -> Optional[int]:
+        """The object's total size, if a response has revealed it."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.size if entry is not None else None
+
+    # -- version control ------------------------------------------------------
+
+    def observe(self, key: str, etag: Optional[str]) -> bool:
+        """Validate ``etag`` against the cached version of ``key``.
+
+        A changed ETag drops every cached page of the object (stale
+        pages must never be served) and rebases the entry on the new
+        version. Returns ``False`` exactly when that invalidation
+        happened. ``etag=None`` (server sent none) never invalidates.
+        """
+        with self._lock:
+            return self._observe_locked(key, etag)
+
+    def _observe_locked(self, key: str, etag: Optional[str]) -> bool:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = _Entry(etag)
+            return True
+        if etag is None or entry.etag is None:
+            if entry.etag is None:
+                entry.etag = etag
+            return True
+        if entry.etag == etag:
+            return True
+        self._drop_locked(key, entry)
+        self._entries[key] = _Entry(etag)
+        self.stats["invalidations"] += 1
+        self._count("invalidations")
+        self._mirror_gauges()
+        return False
+
+    def invalidate(self, key: str) -> None:
+        """Drop every cached page (and the size/etag) of ``key``."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._drop_locked(key, entry)
+                self.stats["invalidations"] += 1
+                self._count("invalidations")
+                self._mirror_gauges()
+
+    def _drop_locked(self, key: str, entry: _Entry) -> None:
+        for index, page in entry.pages.items():
+            self._lru.pop((key, index), None)
+            self._used -= len(page)
+        entry.pages.clear()
+
+    # -- read side ------------------------------------------------------------
+
+    def _clamp(self, entry: _Entry, offset: int, length: int) -> Span:
+        """The byte span actually backed by the object: ``(offset,
+        end)`` with ``end <= size`` when the size is known."""
+        end = offset + length
+        if entry.size is not None:
+            end = min(end, entry.size)
+        return offset, end
+
+    def _page_len(self, entry: _Entry, index: int) -> int:
+        """The full length a cached page at ``index`` must have."""
+        if entry.size is not None:
+            return min(self.page_size, entry.size - index * self.page_size)
+        return self.page_size
+
+    def read(self, key: str, offset: int, length: int) -> Optional[bytes]:
+        """The bytes of ``[offset, offset+length)`` if fully cached.
+
+        Returns ``None`` on any gap. When the object's size is known
+        the read clamps at EOF (POSIX short read), so a fully cached
+        tail answers over-long reads too. No hit/miss accounting.
+        """
+        with self._lock:
+            return self._read_locked(key, offset, length)
+
+    def _read_locked(
+        self, key: str, offset: int, length: int
+    ) -> Optional[bytes]:
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if length == 0:
+            return b""
+        if entry.size is not None and offset >= entry.size:
+            return b""
+        start, end = self._clamp(entry, offset, length)
+        if start >= end:
+            return b""
+        first = start // self.page_size
+        last = (end - 1) // self.page_size
+        pieces: List[bytes] = []
+        for index in range(first, last + 1):
+            page = entry.pages.get(index)
+            if page is None or len(page) < self._page_len(entry, index):
+                return None
+            self._lru.move_to_end((key, index))
+            pieces.append(page)
+        blob = b"".join(pieces)
+        base = first * self.page_size
+        return blob[start - base : end - base]
+
+    def missing_spans(
+        self, key: str, offset: int, length: int
+    ) -> List[Span]:
+        """Page-aligned spans of ``[offset, offset+length)`` not cached.
+
+        Adjacent missing pages merge into one span (the caller packs
+        the spans into a single coalesced multi-range request). Spans
+        clamp to the object size when known; an empty list means the
+        read is fully cached (or past EOF).
+        """
+        with self._lock:
+            if offset < 0 or length < 0:
+                raise ValueError("negative offset/length")
+            if length == 0:
+                return []
+            entry = self._entries.get(key)
+            size = entry.size if entry is not None else None
+            end = offset + length
+            if size is not None:
+                if offset >= size:
+                    return []
+                end = min(end, size)
+            first = offset // self.page_size
+            last = (end - 1) // self.page_size
+            spans: List[Span] = []
+            for index in range(first, last + 1):
+                if entry is not None:
+                    page = entry.pages.get(index)
+                    if page is not None and len(page) >= self._page_len(
+                        entry, index
+                    ):
+                        continue
+                page_start = index * self.page_size
+                page_len = self.page_size
+                if size is not None:
+                    page_len = min(page_len, size - page_start)
+                if spans and spans[-1][0] + spans[-1][1] == page_start:
+                    spans[-1] = (spans[-1][0], spans[-1][1] + page_len)
+                else:
+                    spans.append((page_start, page_len))
+            return spans
+
+    def lookup(
+        self, key: str, offset: int, length: int
+    ) -> Tuple[Optional[bytes], List[Span]]:
+        """Accounting probe: ``(data, missing_spans)`` for one read.
+
+        Classifies the read — full hit (data, no spans), partial hit
+        (no data, spans smaller than the read's aligned span), miss —
+        and feeds ``cache.{hit,miss,partial_hit,origin_bytes_saved}``.
+        """
+        data = self.read(key, offset, length)
+        if data is not None:
+            self.stats["hits"] += 1
+            self.stats["origin_bytes_saved"] += length
+            self._count("hit")
+            self._count("origin_bytes_saved", length)
+            return data, []
+        missing = self.missing_spans(key, offset, length)
+        requested = self._overlap(missing, offset, length)
+        if requested < length:
+            self.stats["partial_hits"] += 1
+            saved = length - requested
+            self.stats["origin_bytes_saved"] += saved
+            self._count("partial_hit")
+            self._count("origin_bytes_saved", saved)
+        else:
+            self.stats["misses"] += 1
+            self._count("miss")
+        return None, missing
+
+    @staticmethod
+    def _overlap(spans: List[Span], offset: int, length: int) -> int:
+        """Bytes of ``[offset, offset+length)`` covered by ``spans``."""
+        end = offset + length
+        covered = 0
+        for span_offset, span_length in spans:
+            lo = max(offset, span_offset)
+            hi = min(end, span_offset + span_length)
+            if hi > lo:
+                covered += hi - lo
+        return covered
+
+    # -- write side -----------------------------------------------------------
+
+    def insert(
+        self,
+        key: str,
+        etag: Optional[str],
+        offset: int,
+        data,
+        total: Optional[int] = None,
+    ) -> None:
+        """Cache the pages fully covered by ``data`` at ``offset``.
+
+        ``data`` may be ``bytes`` or a ``memoryview`` (only the stored
+        page slices are materialised). ``total`` is the object's full
+        size when the response revealed it (Content-Range total / full
+        body) — required before the tail page can be stored. A
+        mismatching ``etag`` first invalidates the stale pages
+        (:meth:`observe`), then stores under the new version.
+        """
+        with self._lock:
+            if self.budget_bytes <= 0:
+                return
+            self._observe_locked(key, etag)
+            entry = self._entries[key]
+            if total is not None:
+                if entry.size is not None and entry.size != int(total):
+                    # Same-etag size change: treat as a new version.
+                    self._drop_locked(key, entry)
+                entry.size = int(total)
+            n = len(data)
+            if n == 0:
+                return
+            end = offset + n
+            first = -(-offset // self.page_size)  # first aligned page
+            page_size = self.page_size
+            for index in range(first, (end // page_size) + 1):
+                page_start = index * page_size
+                want = self._page_len(entry, index)
+                if want <= 0 or page_start + want > end:
+                    break
+                if index in entry.pages:
+                    self._lru.move_to_end((key, index))
+                    continue
+                if want > self.budget_bytes:
+                    continue
+                piece = bytes(data[page_start - offset : page_start - offset + want])
+                entry.pages[index] = piece
+                self._lru[(key, index)] = want
+                self._used += want
+                self.stats["insertions"] += 1
+            self._evict_locked()
+            self._mirror_gauges()
+
+    def _evict_locked(self) -> None:
+        while self._used > self.budget_bytes and self._lru:
+            (key, index), nbytes = self._lru.popitem(last=False)
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.pages.pop(index, None)
+            self._used -= nbytes
+            self.stats["evictions"] += 1
+            self.stats["evicted_bytes"] += nbytes
+            self._count("evicted_bytes", nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PageCache {self._used}/{self.budget_bytes}B "
+            f"pages={len(self._lru)} objects={len(self._entries)}>"
+        )

@@ -50,10 +50,22 @@ class TransferConfig:
     #: Decode multipart bodies incrementally as chunks arrive
     #: (speculative fetches only), overlapping decode with transfer.
     stream_decode: bool = True
+    #: Byte budget of the client page cache
+    #: (:class:`~repro.core.pagecache.PageCache`); 0 disables it. The
+    #: cache lives on the :class:`~repro.core.context.Context`, shared
+    #: by every file, so repeated and overlapping reads of the same
+    #: object never leave the process.
+    page_cache_bytes: int = 0
+    #: Page granularity of the client page cache.
+    page_size: int = 64 * 1024
 
     def __post_init__(self):
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.page_cache_bytes < 0:
+            raise ValueError("page_cache_bytes must be >= 0")
+        if self.page_size < 1:
+            raise ValueError("page_size must be >= 1")
         if self.min_window_batches < 1:
             raise ValueError("min_window_batches must be >= 1")
         if not (

@@ -6,6 +6,8 @@ Figure 3 (vectored reads collapsing range round trips) are claims about
 :class:`RequestTimings` breakdown:
 
 ============== =====================================================
+cache-lookup    probing the client page cache (and, on the proxy,
+                its page store) before any request leaves the process
 queue-wait      entering the engine until a session is in hand
                 (pool checkout, breaker/deadline checks, and — on
                 retries — the backoff sleep before the next attempt)
@@ -38,6 +40,7 @@ __all__ = ["PHASES", "RequestTimings", "PhaseRecorder"]
 
 #: Canonical phase order (label form, as used in metric labels).
 PHASES = (
+    "cache-lookup",
     "queue-wait",
     "connect",
     "tls",
@@ -57,6 +60,7 @@ def _field_name(phase: str) -> str:
 class RequestTimings:
     """Seconds spent in each phase of one request."""
 
+    cache_lookup: float = 0.0
     queue_wait: float = 0.0
     connect: float = 0.0
     tls: float = 0.0

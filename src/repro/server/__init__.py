@@ -14,7 +14,7 @@ from repro.server.objectstore import (
     SyntheticContent,
     ZeroContent,
 )
-from repro.server.proxy import CacheEntry, ProxyApp
+from repro.server.proxy import ProxyApp
 from repro.server.realserver import real_server
 from repro.server.s3 import S3App, S3Credentials, sign_request
 from repro.server.webdav import DavResource, build_multistatus, parse_multistatus
@@ -40,7 +40,6 @@ __all__ = [
     "SyntheticContent",
     "ZeroContent",
     "real_server",
-    "CacheEntry",
     "ProxyApp",
     "S3App",
     "S3Credentials",

@@ -237,9 +237,17 @@ class StorageApp:
             headers = Headers([("ETag", obj.etag)])
             return ServedResponse(Response(304, headers))
 
+        range_header = request.headers.get("Range")
+        if range_header is not None:
+            # RFC 7233 §3.2: an If-Range validator that no longer
+            # matches means the Range is against a stale version —
+            # ignore it and send the full current representation.
+            if_range = request.headers.get("If-Range")
+            if if_range is not None and if_range.strip() != obj.etag:
+                range_header = None
         plan = plan_range_response(
             obj,
-            request.headers.get("Range"),
+            range_header,
             multirange_supported=self.config.multirange,
             max_ranges=self.config.max_ranges,
         )

@@ -1,27 +1,61 @@
-"""Caching HTTP forward proxy.
+"""Range-aware caching HTTP forward proxy.
 
 A big part of the paper's case for HTTP is "compatibility with existing
 network infrastructure and services" (Section 2.2) — squids and site
 caches that specialised protocols cannot use. This module implements
-that infrastructure piece: a forward proxy taking absolute-URI requests,
-with an LRU byte-bounded cache, ETag revalidation, and hit/miss
-accounting. The davix client targets it via
+that infrastructure piece: a forward proxy taking absolute-URI
+requests, backed by the same byte-budget page store the client uses
+(:class:`~repro.core.pagecache.PageCache`), with ETag revalidation and
+hit/miss accounting. The davix client targets it via
 ``RequestParams(proxy=...)``.
 
-Like third-party copy, upstream fetches run as deferred work: the proxy
-is itself a davix client towards the origin servers.
+Unlike the classic whole-object squid model, this proxy is
+**range-aware** — the traffic pattern vectored ROOT I/O produces:
+
+* every GET response (full *or* ranged, single-range or
+  ``multipart/byteranges``) is decomposed into pages keyed by
+  ``(url, etag)``;
+* a ranged request over cached pages is served locally — including
+  ranged reads of an object cached whole;
+* a *partially* cached request computes the missing page-aligned
+  spans, fetches only those gaps from the origin as one coalesced
+  multi-range request (guarded by ``If-Range`` so a changed object
+  degrades to a coherent full refetch, never a version mix), and
+  assembles the ``206``/multipart response locally;
+* stale entries revalidate with ``If-None-Match`` (a ``304`` costs no
+  body) and serve stale only when the origin is unreachable.
+
+Like third-party copy, upstream fetches run as deferred work: the
+proxy is itself a davix client towards the origin servers.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.http import Headers, Request, Response, Url
+from repro.core.pagecache import DEFAULT_PAGE_SIZE, PageCache
+from repro.errors import HttpParseError, HttpProtocolError
+from repro.http import (
+    Headers,
+    RangePart,
+    Request,
+    Response,
+    Url,
+    encode_byteranges,
+    make_boundary,
+    parse_range_header,
+    resolve_ranges,
+)
+from repro.http.multipart import content_type_boundary, decode_byteranges
+from repro.http.ranges import (
+    RangeSpec,
+    format_content_range,
+    format_range_header,
+    parse_content_range,
+)
 from repro.server.handlers import ServedResponse, ServerConfig
 
-__all__ = ["CacheEntry", "ProxyApp"]
+__all__ = ["ProxyApp"]
 
 #: Response headers the proxy forwards from the origin.
 FORWARDED_HEADERS = (
@@ -32,28 +66,42 @@ FORWARDED_HEADERS = (
     "Last-Modified",
 )
 
+#: Gap spans packed into one origin round trip (stays under common
+#: server ``max_ranges`` limits).
+MAX_GAP_RANGES = 64
 
-@dataclass
-class CacheEntry:
-    """One cached representation."""
 
-    status: int
-    headers: Headers
-    body: bytes
-    etag: Optional[str]
-    #: Served without revalidation until this (runtime) time.
-    fresh_until: float = 0.0
+class _ObjectMeta:
+    """Cached non-page state of one origin object (the page bytes,
+    ETag and size live in the :class:`PageCache` entry)."""
 
-    @property
-    def size(self) -> int:
-        return len(self.body)
+    __slots__ = ("content_type", "last_modified", "fresh_until")
+
+    def __init__(self):
+        self.content_type = "application/octet-stream"
+        self.last_modified: Optional[str] = None
+        #: Served without revalidation until this (runtime) time.
+        self.fresh_until = 0.0
+
+
+def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    merged: List[Tuple[int, int]] = []
+    for offset, length in sorted(spans):
+        if merged and offset <= merged[-1][0] + merged[-1][1]:
+            end = max(merged[-1][0] + merged[-1][1], offset + length)
+            merged[-1] = (merged[-1][0], end - merged[-1][0])
+        else:
+            merged.append((offset, length))
+    return merged
 
 
 class ProxyApp:
-    """Forward proxy with an LRU cache; plugs into HttpServer.
+    """Range-aware caching forward proxy; plugs into HttpServer.
 
-    Only plain (un-ranged) GET responses with 200 status are cached —
-    ranged requests pass through, mirroring common squid configs.
+    GET responses land in a shared page store: whole-object entries
+    answer later ranged requests, ranged responses accumulate into
+    partial coverage, and requests touching both cached and uncached
+    spans fetch only the gaps from the origin.
     """
 
     def __init__(
@@ -61,6 +109,8 @@ class ProxyApp:
         config: Optional[ServerConfig] = None,
         cache_bytes: int = 256 * 1024 * 1024,
         default_ttl: float = 60.0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        metrics=None,
     ):
         if cache_bytes < 0:
             raise ValueError("cache_bytes must be >= 0")
@@ -70,16 +120,22 @@ class ProxyApp:
         self.cache_bytes = cache_bytes
         #: Seconds an entry is served without revalidation.
         self.default_ttl = default_ttl
-        self._cache: "OrderedDict[str, CacheEntry]" = OrderedDict()
-        self._cache_used = 0
+        self.page_size = page_size
+        #: The page store (cached bytes, ETag and size per url).
+        self.pages = PageCache(
+            max(0, cache_bytes), page_size, metrics=metrics
+        )
+        self._meta: Dict[str, _ObjectMeta] = {}
         self._context = None  # lazy davix context for upstream fetches
         self.stats = {
             "requests": 0,
             "hits": 0,
             "misses": 0,
+            "partial_hits": 0,
             "revalidated": 0,
             "bypassed": 0,
             "evictions": 0,
+            "origin_bytes_saved": 0,
         }
 
     # -- entry point ----------------------------------------------------------
@@ -93,21 +149,14 @@ class ProxyApp:
                 _error(400, "proxy requires an absolute request URI")
             )
 
-        cacheable = (
-            request.method == "GET"
-            and "Range" not in request.headers
-            and self.cache_bytes > 0
-        )
-        if not cacheable:
+        if request.method != "GET" or self.cache_bytes <= 0:
             self.stats["bypassed"] += 1
             return ServedResponse(
                 Response(500), deferred=lambda: self._relay(request, target)
             )
-
-        cached = self._cache.get(str(target))
         return ServedResponse(
             Response(500),
-            deferred=lambda: self._cached_get(request, target, cached),
+            deferred=lambda: self._cached_get(request, target),
         )
 
     # -- upstream operations ----------------------------------------------------
@@ -119,9 +168,18 @@ class ProxyApp:
             self._context = Context()
         return self._context
 
+    def _exchange(self, target: Url, upstream: Request):
+        """Effect sub-op: one origin round trip (raises on network
+        failure — callers decide between stale-serve and 502)."""
+        from repro.core.request import execute_request
+
+        response, _ = yield from execute_request(
+            self._client_context(), target, upstream
+        )
+        return response
+
     def _relay(self, request: Request, target: Url):
         """Effect sub-op: pass-through (non-cacheable) request."""
-        from repro.core.request import execute_request
         from repro.errors import DavixError, NetworkError
 
         upstream = Request(
@@ -131,99 +189,406 @@ class ProxyApp:
             body=request.body,
         )
         try:
-            response, _ = yield from execute_request(
-                self._client_context(), target, upstream
-            )
+            response = yield from self._exchange(target, upstream)
         except (DavixError, NetworkError) as exc:
             return _error(502, f"upstream failed: {exc}")
         return _forwarded(response, cache_state="BYPASS")
 
-    def _cached_get(
-        self,
-        request: Request,
-        target: Url,
-        cached: Optional[CacheEntry],
-    ):
-        """Effect sub-op: cache lookup, revalidation, or miss fetch."""
+    # -- the cached GET path ----------------------------------------------------
+
+    def _cached_get(self, request: Request, target: Url):
+        """Effect sub-op: serve a GET from pages, gaps, or the origin.
+
+        The attempt loop tolerates ETag churn mid-fill — a gap fetch
+        that reveals a new version invalidates the stale pages and the
+        next pass recomputes coverage against the fresh entry.
+        """
         from repro.concurrency import Now
-        from repro.core.request import execute_request
         from repro.errors import DavixError, NetworkError
 
         now = yield Now()
-        if cached is not None and now < cached.fresh_until:
-            self.stats["hits"] += 1
-            self._cache.move_to_end(str(target))
-            return _from_cache(cached, "HIT")
+        url = str(target)
+        outcome: Optional[str] = None
+        saved_bytes = 0
 
-        headers = _strip_hop_headers(request.headers)
-        if cached is not None and cached.etag:
-            headers.set("If-None-Match", cached.etag)
-        upstream = Request("GET", target.target, headers)
+        for _attempt in range(4):
+            etag = self.pages.etag(url)
+            size = self.pages.known_size(url)
+            meta = self._meta.get(url)
+            if etag is None or size is None or meta is None:
+                aligned = self._cold_ranged_spans(request)
+                if aligned is None:
+                    response = yield from self._fill_from_scratch(
+                        request, target, url, now
+                    )
+                    return response
+                # Cold ranged request: fetch the page-aligned expansion
+                # so the pages land whole and the response assembles
+                # from the store (and repeats are pure hits).
+                if outcome is None:
+                    outcome = "MISS"
+                    saved_bytes = 0
+                try:
+                    response = yield from self._fill_gaps(
+                        target, url, aligned, None, now
+                    )
+                except (DavixError, NetworkError) as exc:
+                    return _error(502, f"upstream failed: {exc}")
+                if response is not None:
+                    if response.status == 206:
+                        # Undecodable 206 for the *expanded* ranges:
+                        # relay the client's own request verbatim.
+                        response = yield from self._relay(request, target)
+                    return response
+                continue
+
+            specs = self._requested_ranges(request, etag)
+            need = self._needed_spans(specs, size)
+            missing: List[Tuple[int, int]] = []
+            for offset, length in need:
+                missing.extend(self.pages.missing_spans(url, offset, length))
+            missing = _merge_spans(missing)
+            fresh = now < meta.fresh_until
+
+            if not missing and (fresh or outcome is not None):
+                # Fully cached and either fresh or just (re)validated.
+                if outcome is None:
+                    outcome = "HIT"
+                    saved_bytes = sum(length for _, length in need)
+                served = self._assemble(request, url, specs, outcome)
+                if served is not None:
+                    self._account(outcome, saved_bytes)
+                    return served
+                continue  # pages raced away (eviction): re-plan
+
+            if not missing:
+                # Fully cached but stale: conditional revalidation.
+                upstream = Request(
+                    "GET",
+                    target.target,
+                    Headers([("If-None-Match", etag)]),
+                )
+                try:
+                    response = yield from self._exchange(target, upstream)
+                except (DavixError, NetworkError):
+                    served = self._assemble(request, url, specs, "STALE")
+                    if served is not None:
+                        self._account(
+                            "STALE", sum(length for _, length in need)
+                        )
+                        return served
+                    return _error(502, "upstream failed and cache incomplete")
+                if response.status == 304:
+                    meta.fresh_until = now + self.default_ttl
+                    outcome = "REVALIDATED"
+                    saved_bytes = sum(length for _, length in need)
+                    continue
+                if response.status in (200, 206):
+                    self._ingest(url, response, now)
+                    outcome = "MISS"
+                    saved_bytes = 0
+                    continue
+                return _forwarded(response, cache_state="UNCACHEABLE")
+
+            # Gaps: fetch only the missing spans, If-Range guarded.
+            if outcome is None:
+                covered = sum(n for _, n in need) - sum(
+                    n for _, n in missing
+                )
+                outcome = "PARTIAL" if covered > 0 else "MISS"
+                saved_bytes = max(0, covered)
+            try:
+                response = yield from self._fill_gaps(
+                    target, url, missing, etag, now
+                )
+            except (DavixError, NetworkError):
+                return _error(502, "upstream failed and cache incomplete")
+            if response is not None:
+                if response.status == 206:
+                    # Undecodable 206 for the gap ranges: relay the
+                    # client's own request verbatim instead.
+                    response = yield from self._relay(request, target)
+                    return response
+                # A non-206/200 answer (e.g. the object vanished):
+                # forward it verbatim.
+                return _forwarded(response, cache_state="UNCACHEABLE")
+
+        # Coverage never converged (budget too small for the request):
+        # fall back to a verbatim relay so the client still gets bytes.
+        response = yield from self._relay(request, target)
+        return response
+
+    def _fill_from_scratch(self, request: Request, target: Url, url, now):
+        """Effect sub-op: nothing cached — forward the request as-is
+        and ingest whatever comes back."""
+        from repro.errors import DavixError, NetworkError
+
+        upstream = Request(
+            "GET", target.target, _strip_hop_headers(request.headers)
+        )
         try:
-            response, _ = yield from execute_request(
-                self._client_context(), target, upstream
-            )
+            response = yield from self._exchange(target, upstream)
         except (DavixError, NetworkError) as exc:
-            if cached is not None:
-                # Origin down: serve stale (squid's offline mode).
-                self.stats["hits"] += 1
-                return _from_cache(cached, "STALE")
             return _error(502, f"upstream failed: {exc}")
-
-        if response.status == 304 and cached is not None:
-            self.stats["revalidated"] += 1
-            cached.fresh_until = now + self.default_ttl
-            self._cache.move_to_end(str(target))
-            return _from_cache(cached, "REVALIDATED")
-
-        if response.status == 200:
+        if response.status in (200, 206):
+            self._ingest(url, response, now)
             self.stats["misses"] += 1
-            self._store(str(target), response, now + self.default_ttl)
             return _forwarded(response, cache_state="MISS")
         return _forwarded(response, cache_state="UNCACHEABLE")
 
-    # -- cache maintenance ---------------------------------------------------------
+    def _fill_gaps(self, target: Url, url, missing, etag, now):
+        """Effect sub-op: fetch the missing spans as coalesced
+        multi-range requests and ingest the parts.
 
-    def _store(
-        self, key: str, response: Response, fresh_until: float
-    ) -> None:
-        if len(response.body) > self.cache_bytes:
-            return  # larger than the whole cache
-        old = self._cache.pop(key, None)
-        if old is not None:
-            self._cache_used -= old.size
-        entry = CacheEntry(
-            status=response.status,
-            headers=_forwardable(response.headers),
-            body=response.body,
-            etag=response.headers.get("ETag"),
-            fresh_until=fresh_until,
+        Returns ``None`` when the pages were ingested (the caller
+        re-plans), or a Response to forward verbatim. ``If-Range``
+        makes a concurrent update come back as a full ``200`` — a
+        coherent replacement instead of a cross-version mix.
+        """
+        for start in range(0, len(missing), MAX_GAP_RANGES):
+            chunk = missing[start : start + MAX_GAP_RANGES]
+            headers = Headers(
+                [
+                    (
+                        "Range",
+                        format_range_header(
+                            [
+                                RangeSpec.from_offset_length(o, n)
+                                for o, n in chunk
+                            ]
+                        ),
+                    )
+                ]
+            )
+            if etag is not None:
+                headers.set("If-Range", etag)
+            upstream = Request("GET", target.target, headers)
+            response = yield from self._exchange(target, upstream)
+            if response.status in (200, 206):
+                if not self._ingest(url, response, now):
+                    return response  # undecodable: forward verbatim
+                if response.status == 200:
+                    return None  # whole object replaced: re-plan
+                continue
+            if response.status == 416:
+                # Our size is stale: drop the entry and re-plan from
+                # scratch on the next attempt.
+                self.pages.invalidate(url)
+                self._meta.pop(url, None)
+                return None
+            return response
+        return None
+
+    # -- ingestion & accounting -------------------------------------------------
+
+    def _ingest(self, url: str, response: Response, now: float) -> bool:
+        """Decompose one origin response into pages + meta."""
+        etag = response.headers.get("ETag")
+        meta = self._meta.setdefault(url, _ObjectMeta())
+        if response.status == 200:
+            self.pages.insert(
+                url, etag, 0, response.body, total=len(response.body)
+            )
+            content_type = response.headers.get("Content-Type")
+            if content_type:
+                meta.content_type = content_type
+        elif response.status == 206:
+            content_type = response.content_type
+            if content_type.lower().startswith("multipart/byteranges"):
+                try:
+                    parts = decode_byteranges(
+                        response.body,
+                        content_type_boundary(content_type),
+                        copy=False,
+                    )
+                except (HttpParseError, HttpProtocolError):
+                    return False
+                for part in parts:
+                    self.pages.insert(
+                        url, etag, part.offset, part.data, total=part.total
+                    )
+            else:
+                content_range = response.headers.get("Content-Range")
+                if content_range is None:
+                    return False
+                try:
+                    offset, _length, total = parse_content_range(
+                        content_range
+                    )
+                except (HttpParseError, HttpProtocolError):
+                    return False
+                self.pages.insert(
+                    url, etag, offset, response.body, total=total
+                )
+                if content_type:
+                    meta.content_type = content_type
+        else:
+            return False
+        last_modified = response.headers.get("Last-Modified")
+        if last_modified:
+            meta.last_modified = last_modified
+        meta.fresh_until = now + self.default_ttl
+        self.stats["evictions"] = self.pages.stats["evictions"]
+        return True
+
+    def _account(self, state: str, saved_bytes: int) -> None:
+        """One stats bump per served request, by outcome."""
+        key = {
+            "HIT": "hits",
+            "STALE": "hits",
+            "REVALIDATED": "revalidated",
+            "MISS": "misses",
+            "PARTIAL": "partial_hits",
+        }[state]
+        self.stats[key] += 1
+        self.stats["origin_bytes_saved"] += max(0, saved_bytes)
+
+    # -- request interpretation ---------------------------------------------------
+
+    def _cold_ranged_spans(
+        self, request: Request
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Page-aligned expansion of a cold ranged request.
+
+        ``None`` means the request cannot be pre-aligned (no Range
+        header, an invalid one, or suffix/open-ended specs that need
+        the — still unknown — object size) and must pass through.
+        """
+        header = request.headers.get("Range")
+        if header is None:
+            return None
+        try:
+            specs = parse_range_header(header)
+        except HttpProtocolError:
+            return None
+        page = self.page_size
+        spans: List[Tuple[int, int]] = []
+        for spec in specs:
+            if spec.first is None or spec.last is None:
+                return None
+            start = (spec.first // page) * page
+            end = (spec.last // page + 1) * page
+            spans.append((start, end - start))
+        return _merge_spans(spans)
+
+    def _requested_ranges(self, request: Request, etag: Optional[str]):
+        """The client's Range specs, with If-Range applied.
+
+        ``None`` means serve the full representation (no/invalid Range
+        header, or an ``If-Range`` validator that no longer matches).
+        """
+        header = request.headers.get("Range")
+        if header is None:
+            return None
+        if_range = request.headers.get("If-Range")
+        if if_range is not None and if_range.strip() != (etag or ""):
+            return None
+        try:
+            return parse_range_header(header)
+        except HttpProtocolError:
+            return None  # RFC 7233 §3.1: may ignore an invalid Range
+
+    @staticmethod
+    def _needed_spans(specs, size: int) -> List[Tuple[int, int]]:
+        """The object spans a request needs (``[]`` means 416)."""
+        if specs is None:
+            return [(0, size)] if size > 0 else []
+        return resolve_ranges(specs, size)
+
+    # -- response assembly --------------------------------------------------------
+
+    def _assemble(
+        self, request: Request, url: str, specs, state: str
+    ) -> Optional[Response]:
+        """Build the client-facing response from cached pages.
+
+        Mirrors the origin's RFC 7233 behaviour (same resolution, same
+        single-range/multipart split) so a cache answer is
+        indistinguishable from an origin answer, boundary aside.
+        Returns ``None`` if a needed page has been evicted since the
+        coverage check — the caller re-plans.
+        """
+        etag = self.pages.etag(url)
+        size = self.pages.known_size(url)
+        meta = self._meta.get(url)
+        if etag is None or size is None or meta is None:
+            return None
+
+        if_none_match = request.headers.get("If-None-Match")
+        if if_none_match is not None:
+            candidates = [t.strip() for t in if_none_match.split(",")]
+            if "*" in candidates or etag in candidates:
+                return _mark(
+                    Response(304, Headers([("ETag", etag)])), state
+                )
+
+        base = Headers([("Accept-Ranges", "bytes"), ("ETag", etag)])
+        if meta.last_modified:
+            base.set("Last-Modified", meta.last_modified)
+
+        if specs is None:
+            body = self.pages.read(url, 0, size)
+            if body is None or len(body) != size:
+                return None
+            headers = base.copy()
+            headers.set("Content-Type", meta.content_type)
+            return _mark(Response(200, headers, body), state)
+
+        resolved = resolve_ranges(specs, size)
+        if not resolved:
+            headers = base.copy()
+            headers.set("Content-Range", f"bytes */{size}")
+            return _mark(Response(416, headers), state)
+
+        if len(resolved) == 1:
+            offset, length = resolved[0]
+            body = self.pages.read(url, offset, length)
+            if body is None or len(body) != length:
+                return None
+            headers = base.copy()
+            headers.set("Content-Type", meta.content_type)
+            headers.set(
+                "Content-Range", format_content_range(offset, length, size)
+            )
+            return _mark(Response(206, headers, body), state)
+
+        parts: List[RangePart] = []
+        for offset, length in resolved:
+            data = self.pages.read(url, offset, length)
+            if data is None or len(data) != length:
+                return None
+            parts.append(RangePart(offset=offset, data=data, total=size))
+        boundary = make_boundary()
+        body = encode_byteranges(parts, boundary, meta.content_type)
+        headers = base.copy()
+        headers.set(
+            "Content-Type", f"multipart/byteranges; boundary={boundary}"
         )
-        self._cache[key] = entry
-        self._cache_used += entry.size
-        while self._cache_used > self.cache_bytes:
-            _evicted_key, evicted = self._cache.popitem(last=False)
-            self._cache_used -= evicted.size
-            self.stats["evictions"] += 1
+        return _mark(Response(206, headers, body), state)
+
+    # -- introspection ------------------------------------------------------------
 
     @property
     def cached_objects(self) -> int:
-        return len(self._cache)
+        return self.pages.object_count
 
     @property
     def cached_bytes(self) -> int:
-        return self._cache_used
+        return self.pages.used_bytes
 
     def hit_ratio(self) -> float:
         looked_up = (
             self.stats["hits"]
             + self.stats["misses"]
+            + self.stats["partial_hits"]
             + self.stats["revalidated"]
         )
         if looked_up == 0:
             return 0.0
         return (
-            self.stats["hits"] + self.stats["revalidated"]
+            self.stats["hits"]
+            + self.stats["partial_hits"]
+            + self.stats["revalidated"]
         ) / looked_up
 
 
@@ -255,11 +620,10 @@ def _forwarded(response: Response, cache_state: str) -> Response:
     return Response(response.status, headers, response.body)
 
 
-def _from_cache(entry: CacheEntry, state: str) -> Response:
-    headers = entry.headers.copy()
-    headers.set("X-Cache", state)
-    headers.set("Via", "1.1 repro-proxy")
-    return Response(entry.status, headers, entry.body)
+def _mark(response: Response, state: str) -> Response:
+    response.headers.set("X-Cache", state)
+    response.headers.set("Via", "1.1 repro-proxy")
+    return response
 
 
 def _error(status: int, message: str) -> Response:

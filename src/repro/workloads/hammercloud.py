@@ -21,7 +21,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.context import Context
+from repro.core.context import Context, RequestParams
 from repro.net.profiles import NetProfile
 from repro.obs.events import events_to_json_lines
 from repro.obs.slo import SloPolicy
@@ -97,6 +97,7 @@ class Campaign:
         repetitions: int = 3,
         base_seed: int = 42,
         materialize: bool = False,
+        params: Optional[RequestParams] = None,
     ):
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
@@ -105,6 +106,10 @@ class Campaign:
         self.repetitions = repetitions
         self.base_seed = base_seed
         self.materialize = materialize
+        #: Davix request params worn by every repetition's context —
+        #: e.g. ``TransferConfig(page_cache_bytes=...)`` arms the client
+        #: page cache, adding one ``cache`` event per repetition.
+        self.params = params
         #: Wide events accumulated across every cell run so far: the
         #: per-request events of each davix repetition (tagged with
         #: protocol/profile/repetition) plus one ``run`` summary event
@@ -127,7 +132,11 @@ class Campaign:
             )
             # Each davix repetition gets a fresh context so its event
             # log covers exactly one execution.
-            context = Context() if protocol == "davix" else None
+            context = (
+                Context(params=self.params)
+                if protocol == "davix"
+                else None
+            )
             report = run_scenario(scenario, context=context)
             stats.reports.append(report)
             tags = {
@@ -140,6 +149,14 @@ class Campaign:
                     merged = dict(event)
                     merged.update(tags)
                     self.events.append(merged)
+                if context.page_cache is not None:
+                    cache_event = {
+                        "kind": "cache",
+                        "used_bytes": context.page_cache.used_bytes,
+                    }
+                    cache_event.update(context.page_cache.stats)
+                    cache_event.update(tags)
+                    self.events.append(cache_event)
             run_event = {
                 "kind": "run",
                 "wall_seconds": report.wall_seconds,

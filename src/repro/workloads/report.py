@@ -98,6 +98,47 @@ def _phase_section(events: List[dict]) -> List[str]:
     return lines
 
 
+def _cache_section(events: List[dict]) -> List[str]:
+    """Per-cell page-cache counters summed over ``cache`` events."""
+    fields = (
+        "hits",
+        "misses",
+        "partial_hits",
+        "origin_bytes_saved",
+        "evicted_bytes",
+        "invalidations",
+    )
+    cells: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for event in events:
+        key = (
+            str(event.get("protocol", "?")),
+            str(event.get("profile", "?")),
+        )
+        agg = cells.setdefault(key, {field: 0 for field in fields})
+        for field in fields:
+            agg[field] += int(event.get(field, 0))
+    rows = []
+    for (protocol, profile), agg in sorted(cells.items()):
+        lookups = (
+            agg["hits"] + agg["partial_hits"] + agg["misses"]
+        )
+        served = agg["hits"] + agg["partial_hits"]
+        ratio = served / lookups if lookups else 0.0
+        rows.append(
+            [protocol, profile]
+            + [str(agg[field]) for field in fields]
+            + [f"{ratio * 100:.2f}%"]
+        )
+    lines = ["Page cache (cache.* counters)"]
+    lines += _table(
+        ["protocol", "profile", "cache.hit", "cache.miss",
+         "cache.partial_hit", "cache.origin_bytes_saved",
+         "cache.evicted_bytes", "cache.invalidations", "hit_ratio"],
+        rows,
+    )
+    return lines
+
+
 def _slo_section(
     events: List[dict], policy: SloPolicy
 ) -> List[str]:
@@ -150,8 +191,10 @@ def render_report(
 
     ``events`` is any iterable of wide-event dicts (parsed JSONL);
     ``run`` events feed the execution table, client-side ``request``
-    events feed the phase breakdown and the SLO verdicts. Sections with
-    no events are omitted; an empty log renders a single stub line.
+    events feed the phase breakdown and the SLO verdicts, and ``cache``
+    events (page-cache-armed campaigns) feed the cache counters.
+    Sections with no events are omitted; an empty log renders a single
+    stub line.
     """
     policy = policy or SloPolicy()
     events = list(events)
@@ -167,6 +210,9 @@ def render_report(
     if requests:
         sections.append(_phase_section(requests))
         sections.append(_slo_section(requests, policy))
+    caches = [e for e in events if e.get("kind") == "cache"]
+    if caches:
+        sections.append(_cache_section(caches))
     title = "HammerCloud run report"
     lines = [title, "=" * len(title)]
     if not sections:

@@ -112,12 +112,69 @@ def test_stale_served_when_origin_down():
     assert proxy.stats["hits"] == 1
 
 
-def test_ranged_requests_bypass_cache():
+def test_ranged_requests_are_cached():
+    """Regression: ranged GETs used to bypass the cache entirely —
+    they now populate the page store and repeat reads never reach the
+    origin."""
     client, proxy, origin, store, net = proxy_world()
     store.put("/x", b"0123456789")
     assert client.pread("http://origin/x", 2, 3) == b"234"
-    assert proxy.stats["bypassed"] == 1
-    assert proxy.cached_objects == 0
+    assert proxy.stats["bypassed"] == 0
+    assert proxy.stats["misses"] == 1
+    assert proxy.cached_objects == 1
+    before = origin.requests_handled
+    assert client.pread("http://origin/x", 2, 3) == b"234"
+    assert client.pread("http://origin/x", 3, 2) == b"34"
+    assert proxy.stats["hits"] == 2
+    assert origin.requests_handled == before
+
+
+def test_whole_object_entry_answers_ranged_requests():
+    """Regression: a cached full GET is reused for later Range
+    requests instead of re-fetching from the origin."""
+    client, proxy, origin, store, net = proxy_world()
+    content = bytes(i % 251 for i in range(100_000))
+    store.put("/x", content)
+    assert client.get("http://origin/x") == content
+    before = origin.requests_handled
+    assert client.pread("http://origin/x", 10, 100) == content[10:110]
+    reads = [(0, 10), (50_000, 64), (99_990, 10)]
+    assert client.pread_vec("http://origin/x", reads) == [
+        content[o : o + n] for o, n in reads
+    ]
+    assert origin.requests_handled == before
+    assert proxy.stats["hits"] == 2
+    assert proxy.stats["bypassed"] == 0
+
+
+def test_partial_hit_fetches_only_the_gaps():
+    """A request straddling cached and uncached spans fetches only the
+    missing page-aligned gaps from the origin."""
+    client, proxy, origin, store, net = proxy_world()
+    content = bytes(i % 251 for i in range(400_000))
+    store.put("/x", content)
+    # Warm the first 64 KiB page via a ranged read.
+    assert client.pread("http://origin/x", 0, 70_000) == content[:70_000]
+    bytes_before = store.bytes_read
+    # Overlaps the cached pages and extends beyond them.
+    assert client.pread("http://origin/x", 0, 200_000) == content[:200_000]
+    assert proxy.stats["partial_hits"] == 1
+    # The origin only served the gap, not the full 200 000 bytes.
+    assert store.bytes_read - bytes_before < 200_000
+    assert proxy.stats["origin_bytes_saved"] > 0
+
+
+def test_ranged_request_after_update_serves_new_version():
+    """An ETag change observed during a gap fetch drops the stale
+    pages — the proxy never mixes versions in one response."""
+    client, proxy, origin, store, net = proxy_world()
+    content_v1 = b"A" * 200_000
+    store.put("/x", content_v1)
+    assert client.pread("http://origin/x", 0, 70_000) == content_v1[:70_000]
+    store.put("/x", b"B" * 200_000)  # new etag
+    client.runtime.env.run(until=client.runtime.env.now + 120.0)  # expire ttl
+    data = client.pread("http://origin/x", 0, 200_000)
+    assert data == b"B" * 200_000  # coherent: no v1/v2 mix
 
 
 def test_put_passes_through():

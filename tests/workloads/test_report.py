@@ -82,6 +82,37 @@ def test_report_sections_and_formatting():
         )
 
 
+def test_cache_armed_campaign_reports_cache_counters():
+    """A campaign whose params arm the page cache emits one ``cache``
+    event per davix repetition and the report grows a cache section."""
+    from repro.core import RequestParams, TransferConfig
+
+    campaign = Campaign(
+        spec=tiny_spec(),
+        config=fast_cfg(),
+        repetitions=2,
+        base_seed=42,
+        params=RequestParams(
+            transfer=TransferConfig(page_cache_bytes=32 << 20)
+        ),
+    )
+    campaign.run_matrix([PROFILES["wan"]], protocols=("davix",))
+    cache_events = [
+        e for e in campaign.events if e["kind"] == "cache"
+    ]
+    assert len(cache_events) == 2  # one per repetition
+    for event in cache_events:
+        assert event["protocol"] == "davix"
+        assert event["profile"] == "wan"
+        assert event["hits"] + event["misses"] + event["partial_hits"] > 0
+    report = campaign.report()
+    assert "Page cache (cache.* counters)" in report
+    assert "cache.hit" in report
+    assert "cache.origin_bytes_saved" in report
+    # Without cache params the section never appears (goldens stable).
+    assert "Page cache" not in run_campaign(repetitions=1).report()
+
+
 def test_report_of_empty_log_is_a_stub():
     assert render_report([]) == (
         "HammerCloud run report\n"
