@@ -227,6 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
     copy.add_argument(
         "--move", action="store_true", help="MOVE instead of COPY"
     )
+    copy.add_argument(
+        "--streams",
+        type=int,
+        default=None,
+        help="parallel chunk streams for a third-party copy",
+    )
+    copy.add_argument(
+        "--mode",
+        choices=("pull", "push"),
+        default="pull",
+        help="third-party copy mode (default: destination pulls)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run a storage server over a directory"
@@ -484,8 +496,7 @@ def cmd_metalink(args, out=sys.stdout) -> int:
 
 
 def cmd_copy(args, out=sys.stdout) -> int:
-    from repro.core.request import execute_request
-    from repro.http import Headers, Request, Url
+    from repro.http import Url
 
     client = _client(args)
     source = Url.parse(args.source_url)
@@ -498,28 +509,20 @@ def cmd_copy(args, out=sys.stdout) -> int:
             client.copy(source, destination)
         print(f"copied {source} -> {destination}", file=out)
         return 0
-    # Cross-server: third-party copy — ask the destination to pull.
-    request = Request(
-        "COPY",
-        destination.target,
-        Headers([("Source", str(source))]),
+    # Cross-server: third-party copy — the storage nodes move the
+    # bytes directly while we watch the Perf Marker stream.
+    summary = client.third_party_copy(
+        source,
+        destination,
+        mode=args.mode,
+        streams=args.streams,
     )
-
-    def op():
-        response, _ = yield from execute_request(
-            client.context, destination, request, client.context.params
-        )
-        return response
-
-    response = client.runtime.run(op())
-    from repro.core.file import raise_for_status
-
-    raise_for_status(response, destination.path)
     if args.move:
         client.delete(source)
     print(
         f"third-party copied {source} -> {destination} "
-        f"(HTTP {response.status})",
+        f"({args.mode}, {summary.bytes_transferred} bytes, "
+        f"{len(summary.markers)} markers)",
         file=out,
     )
     return 0

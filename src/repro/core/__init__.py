@@ -30,6 +30,13 @@ from repro.core.pipelining import pipeline_requests
 from repro.core.pool import PoolStats, SessionPool
 from repro.core.posix import DavFd, DavPosix
 from repro.core.session import Session, StaleSession, open_session
+from repro.core.tpc import (
+    PerfMarker,
+    TpcConfig,
+    TpcSummary,
+    parse_marker_stream,
+    plan_chunks,
+)
 from repro.core.vectored import (
     CoalescedRange,
     Fragment,
@@ -72,6 +79,11 @@ __all__ = [
     "Session",
     "StaleSession",
     "open_session",
+    "PerfMarker",
+    "TpcConfig",
+    "TpcSummary",
+    "parse_marker_stream",
+    "plan_chunks",
     "CoalescedRange",
     "Fragment",
     "PartTable",

@@ -191,6 +191,35 @@ class DavixClient:
             )
         )
 
+    def third_party_copy(
+        self,
+        source_url,
+        destination_url,
+        mode: str = "pull",
+        streams: Optional[int] = None,
+        overwrite: bool = True,
+        params: Optional[RequestParams] = None,
+    ):
+        """Third-party copy: the storage nodes move the object directly
+        over their own link while this client only orchestrates.
+
+        ``mode`` selects pull (COPY sent to the destination with a
+        ``Source`` header) or push (COPY sent to the source with an
+        absolute ``Destination``); ``streams`` requests a specific
+        number of parallel chunk streams on the active server. Returns
+        the :class:`~repro.core.tpc.TpcSummary` parsed from the
+        ``Perf Marker`` stream.
+        """
+        return self.runtime.run(
+            self._posix(params).third_party_copy(
+                source_url,
+                destination_url,
+                mode=mode,
+                streams=streams,
+                overwrite=overwrite,
+            )
+        )
+
     # -- positional / vectored I/O ------------------------------------------------
 
     def pread(

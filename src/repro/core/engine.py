@@ -61,6 +61,7 @@ class _SpecBatch:
         "parts",
         "error",
         "resolved",
+        "cancelled",
     )
 
     def __init__(self, index, ranges, segments, nbytes, span):
@@ -74,6 +75,7 @@ class _SpecBatch:
         self.parts = None
         self.error: Optional[Exception] = None
         self.resolved = False
+        self.cancelled = False
 
 
 class TransferEngine:
@@ -98,6 +100,9 @@ class TransferEngine:
         self._dropped: Set[Segment] = set()
         self._by_segment: Dict[Segment, _SpecBatch] = {}
         self._inflight: List[_SpecBatch] = []
+        #: Cancelled batches whose spawned tasks still need a Join
+        #: (there is no kill primitive; cancellation is bookkeeping).
+        self._discarded: List[_SpecBatch] = []
         self._window = TaskWindow(
             limit=config.window_batches,
             floor=config.min_window_batches,
@@ -113,6 +118,7 @@ class TransferEngine:
             "errors": 0,
             "grown": 0,
             "shrunk": 0,
+            "cancelled": 0,
         }
         #: Every coalesced ``(offset, length)`` launched speculatively
         #: (test hook: speculation must stay inside the prefetch plan).
@@ -401,10 +407,49 @@ class TransferEngine:
 
     # -- shutdown -----------------------------------------------------------
 
+    def abandon(self) -> None:
+        """Drop the plan and cancel every in-flight speculative batch.
+
+        Called when the consumption plan it was speculating for is
+        abandoned (``DavFile.close()``, or a replacing ``prefetch()``)
+        — instead of letting the in-flight batches drain uselessly
+        into demanded reads, their window slots free immediately and
+        they count in ``engine.cancelled_batches_total``. Pure
+        bookkeeping: there is no task-kill primitive, so the spawned
+        fetches are parked on ``_discarded`` and joined (results
+        ignored) by the next :meth:`drain`.
+        """
+        self._plan.clear()
+        self._planned.clear()
+        self._dropped.clear()
+        self._by_segment.clear()
+        cancelled = 0
+        unused = 0
+        for batch in self._inflight:
+            if batch.resolved:
+                unused += len(batch.segments)
+            else:
+                batch.cancelled = True
+                self._window.settled(batch.nbytes)
+                cancelled += 1
+                self._discarded.append(batch)
+            batch.segments.clear()
+        self._inflight.clear()
+        if cancelled:
+            self.stats["cancelled"] += cancelled
+            self.context.metrics.counter(
+                "engine.cancelled_batches_total"
+            ).inc(cancelled)
+        if unused:
+            self.context.metrics.counter(
+                "engine.unused_segments_total"
+            ).inc(unused)
+
     def drain(self):
         """Effect sub-op: join every in-flight batch and close the
         engine span. Always call before tearing down the runtime —
-        speculative tasks must not outlive their session pool."""
+        speculative tasks (cancelled ones included) must not outlive
+        their session pool."""
         unused = 0
         for batch in list(self._inflight):
             yield from self._resolve(batch)
@@ -413,6 +458,13 @@ class TransferEngine:
                 self._consume(segment, batch)
         self._inflight.clear()
         self._by_segment.clear()
+        for batch in self._discarded:
+            # Cancelled: the window slot was already settled by
+            # abandon(); join the task and drop whatever it fetched.
+            if not batch.resolved:
+                yield Join(batch.task)
+                batch.resolved = True
+        self._discarded.clear()
         if unused:
             self.context.metrics.counter(
                 "engine.unused_segments_total"
@@ -423,6 +475,7 @@ class TransferEngine:
                 hits=self.stats["hits"],
                 misses=self.stats["misses"],
                 errors=self.stats["errors"],
+                cancelled=self.stats["cancelled"],
                 window=self._window.limit,
                 unused_segments=unused,
             )

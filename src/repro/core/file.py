@@ -151,16 +151,26 @@ class DavFile:
         """The armed :class:`TransferEngine`, if any (stats, window)."""
         return self._engine
 
-    def prefetch(self, segments: Sequence[Tuple[int, int]]) -> TransferEngine:
+    def prefetch(
+        self,
+        segments: Sequence[Tuple[int, int]],
+        replace: bool = False,
+    ) -> TransferEngine:
         """Feed ``(offset, length)`` segments to the read-ahead plan.
 
         Arms the transfer engine if it is not already; pure
         bookkeeping — speculative fetches launch lazily as subsequent
-        ``pread``/``pread_vec`` calls pump the window. Returns the
-        engine (stats and window state live there).
+        ``pread``/``pread_vec`` calls pump the window. With
+        ``replace=True`` the previous plan is abandoned first: its
+        in-flight speculative batches are cancelled (counted in
+        ``engine.cancelled_batches_total``) rather than drained
+        uselessly. Returns the engine (stats and window state live
+        there).
         """
         if self._engine is None:
             self._engine = TransferEngine(self, self.transfer)
+        elif replace:
+            self._engine.abandon()
         self._engine.prefetch(segments)
         return self._engine
 
@@ -171,6 +181,18 @@ class DavFile:
         a no-op otherwise.
         """
         if self._engine is not None:
+            yield from self._engine.drain()
+
+    def close(self):
+        """Effect sub-op: abandon the read-ahead plan and clean up.
+
+        In-flight speculative batches are cancelled (their window
+        slots free immediately, ``engine.cancelled_batches_total``
+        counts them) and their already-spawned tasks joined. A no-op
+        without the engine armed; the file object stays usable.
+        """
+        if self._engine is not None:
+            self._engine.abandon()
             yield from self._engine.drain()
 
     # -- metadata ---------------------------------------------------------------
@@ -480,6 +502,24 @@ class DavFile:
         buffer) until the per-fragment ``bytes`` materialise — the
         only copy, accounted in ``vector.copy_bytes_total``.
         """
+        reads = [(int(offset), int(length)) for offset, length in reads]
+        if any(length == 0 for _, length in reads):
+            # Zero-length reads answer b"" locally on every path; only
+            # the real reads hit the planner (which rejects empty
+            # fragments) or the engine.
+            kept = [
+                (index, read)
+                for index, read in enumerate(reads)
+                if read[1] > 0
+            ]
+            results: List[bytes] = [b""] * len(reads)
+            if kept:
+                pieces = yield from self.pread_vec(
+                    [read for _, read in kept]
+                )
+                for (index, _), piece in zip(kept, pieces):
+                    results[index] = piece
+            return results
         transfer = self.params.effective_transfer(warn=True)
         if self._pagecache is not None:
             results = yield from self._pread_vec_cached(reads, transfer)
@@ -764,8 +804,12 @@ class DavFile:
                     response.headers.get("ETag"),
                     [(part.offset, part.data, part.total) for part in parts],
                 )
+                totals = [
+                    part.total for part in parts if part.total is not None
+                ]
                 return PartTable.from_parts(
-                    (part.offset, part.data) for part in parts
+                    ((part.offset, part.data) for part in parts),
+                    total=totals[0] if totals else None,
                 )
             content_range = response.headers.get("Content-Range")
             if content_range is None:
@@ -775,14 +819,18 @@ class DavFile:
                 response.headers.get("ETag"),
                 [(offset, response.body, total)],
             )
-            return PartTable.from_parts([(offset, response.body)])
+            return PartTable.from_parts(
+                [(offset, response.body)], total=total
+            )
         # 200: the server does not support (multi-)ranges — the whole
         # object came back; slice everything from it.
         self._cache_insert(
             response.headers.get("ETag"),
             [(0, response.body, len(response.body))],
         )
-        return PartTable.from_parts([(0, response.body)])
+        return PartTable.from_parts(
+            [(0, response.body)], total=len(response.body)
+        )
 
     # -- metalink -----------------------------------------------------------------
 

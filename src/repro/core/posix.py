@@ -134,6 +134,70 @@ class DavPosix:
             "COPY", source_url, destination_url, overwrite
         )
 
+    def third_party_copy(
+        self,
+        source_url,
+        destination_url,
+        mode: str = "pull",
+        streams: Optional[int] = None,
+        overwrite: bool = True,
+    ):
+        """Effect sub-op: WebDAV third-party COPY.
+
+        In ``pull`` mode the COPY goes to the *destination* server with
+        a ``Source`` header; in ``push`` mode it goes to the *source*
+        server with an absolute ``Destination``. Either way the storage
+        nodes move the object directly over their own link — the only
+        bytes crossing this client are the COPY request and the
+        ``Perf Marker`` progress stream on the 202 response.
+        """
+        from repro.core.tpc import parse_marker_stream
+
+        if mode not in ("pull", "push"):
+            raise DavixError("tpc", f"unknown TPC mode {mode!r}")
+        source = (
+            source_url
+            if isinstance(source_url, Url)
+            else Url.parse(source_url)
+        )
+        destination = (
+            destination_url
+            if isinstance(destination_url, Url)
+            else Url.parse(destination_url)
+        )
+        if mode == "pull":
+            active, target = destination, destination.target
+            headers = Headers([("Source", str(source))])
+        else:
+            active, target = source, source.target
+            headers = Headers([("Destination", str(destination))])
+        headers.set("Overwrite", "T" if overwrite else "F")
+        if streams is not None:
+            if streams < 1:
+                raise DavixError("tpc", "streams must be >= 1")
+            headers.set("X-Number-Of-Streams", str(streams))
+        request = Request("COPY", target, headers)
+        response, _ = yield from execute_request(
+            self.context, active, request, self.params
+        )
+        from repro.core.file import raise_for_status
+
+        if response.status != 202:
+            raise_for_status(response, active.path)
+            raise DavixError(
+                "tpc",
+                f"unexpected TPC response {response.status}",
+                response.status,
+            )
+        summary = parse_marker_stream(response.body.decode("utf-8"))
+        if not summary.ok:
+            raise DavixError(
+                "tpc",
+                f"third-party copy failed: {summary.message}",
+                502,
+            )
+        return summary
+
     def _copy_or_move(self, method, source_url, destination_url, overwrite):
         source = (
             source_url

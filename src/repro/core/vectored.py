@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import RequestError
 
@@ -162,18 +162,28 @@ class PartTable:
 
     A later part at an already-present offset replaces the entry only
     when it is at least as long (a refetch can only add coverage).
+
+    ``total`` (when the response advertised the object size via
+    ``Content-Range``) clips lookups at EOF: a range straddling the end
+    of the object resolves to the available prefix — POSIX short-read
+    semantics — instead of raising.
     """
 
-    __slots__ = ("_offsets", "_views")
+    __slots__ = ("_offsets", "_views", "total")
 
-    def __init__(self):
+    def __init__(self, total: Optional[int] = None):
         self._offsets: List[int] = []
         self._views: List[memoryview] = []
+        self.total = total
 
     @classmethod
-    def from_parts(cls, parts: Iterable[Tuple[int, bytes]]) -> "PartTable":
+    def from_parts(
+        cls,
+        parts: Iterable[Tuple[int, bytes]],
+        total: Optional[int] = None,
+    ) -> "PartTable":
         """Build a table from ``(offset, buffer)`` pairs."""
-        table = cls()
+        table = cls(total=total)
         for offset, data in parts:
             table.add(offset, data)
         return table
@@ -196,6 +206,8 @@ class PartTable:
 
     def merge(self, other: "PartTable") -> None:
         """Fold another table's parts into this one (refetch path)."""
+        if other.total is not None:
+            self.total = other.total
         for offset, view in zip(other._offsets, other._views):
             self.add(offset, view)
 
@@ -207,11 +219,17 @@ class PartTable:
 
         Bisects to the right-most part starting at or before ``offset``
         (the covering part of any disjoint multi-range response); falls
-        back to a leftward scan only when parts overlap. Raises
+        back to a leftward scan only when parts overlap. A known
+        ``total`` clips the span at EOF (short read); otherwise raises
         :class:`~repro.errors.RequestError` when nothing covers the
         span.
         """
         end = offset + length
+        if self.total is not None and end > self.total:
+            end = max(self.total, offset)
+            length = end - offset
+        if length <= 0:
+            return memoryview(b"")
         index = bisect_right(self._offsets, offset) - 1
         while index >= 0:
             part_offset = self._offsets[index]
@@ -270,10 +288,16 @@ def scatter_parts(
         for fragment in rng.fragments:
             start = fragment.offset - rng.offset
             piece = data[start : start + fragment.length]
-            if len(piece) != fragment.length:
+            wanted = fragment.length
+            if table.total is not None:
+                # EOF clips the fragment: a POSIX-style short read.
+                wanted = max(
+                    0, min(fragment.end, table.total) - fragment.offset
+                )
+            if len(piece) != wanted:
                 raise RequestError(
                     f"server returned {len(piece)} bytes for fragment "
-                    f"at {fragment.offset} (wanted {fragment.length})"
+                    f"at {fragment.offset} (wanted {wanted})"
                 )
             out[fragment.index] = bytes(piece)
     return out

@@ -10,7 +10,7 @@ from repro.http.codec import (
     serialize_response,
     serialize_response_head,
 )
-from repro.http.headers import Headers
+from repro.http.headers import Headers, parse_cache_control
 from repro.http.messages import Request, Response
 from repro.http.multipart import (
     RangePart,
@@ -38,6 +38,7 @@ __all__ = [
     "serialize_response",
     "serialize_response_head",
     "Headers",
+    "parse_cache_control",
     "Request",
     "Response",
     "RangePart",

@@ -9,11 +9,30 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["Headers"]
+__all__ = ["Headers", "parse_cache_control"]
 
 HeaderSource = Union[
     "Headers", Iterable[Tuple[str, str]], dict, None
 ]
+
+
+def parse_cache_control(value: Optional[str]) -> dict:
+    """``Cache-Control`` directives -> ``{name: value-or-None}``.
+
+    Directive names lower-case; valueless directives map to ``None``
+    (``{"no-store": None, "max-age": "60"}``). An absent or empty
+    header yields an empty dict.
+    """
+    directives: dict = {}
+    if not value:
+        return directives
+    for part in value.split(","):
+        name, sep, argument = part.partition("=")
+        name = name.strip().lower()
+        if not name:
+            continue
+        directives[name] = argument.strip().strip('"') if sep else None
+    return directives
 
 
 class Headers:

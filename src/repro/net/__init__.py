@@ -2,7 +2,15 @@
 
 from repro.net.link import LinkSpec, Wire
 from repro.net.network import Host, Listener, Network
-from repro.net.profiles import GEANT, LAN, PROFILES, WAN, NetProfile, build_network
+from repro.net.profiles import (
+    GEANT,
+    HUNDRED_GIG,
+    LAN,
+    PROFILES,
+    WAN,
+    NetProfile,
+    build_network,
+)
 from repro.net.tcp import ConnectionSide, TcpConnection, TcpOptions
 
 __all__ = [
@@ -18,6 +26,7 @@ __all__ = [
     "LAN",
     "GEANT",
     "WAN",
+    "HUNDRED_GIG",
     "PROFILES",
     "build_network",
 ]

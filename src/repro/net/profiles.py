@@ -22,7 +22,15 @@ from repro.net.link import LinkSpec
 from repro.net.network import Network
 from repro.sim import Environment
 
-__all__ = ["NetProfile", "LAN", "GEANT", "WAN", "PROFILES", "build_network"]
+__all__ = [
+    "NetProfile",
+    "LAN",
+    "GEANT",
+    "WAN",
+    "HUNDRED_GIG",
+    "PROFILES",
+    "build_network",
+]
 
 GBIT = 125_000_000  # 1 Gb/s in bytes/second
 
@@ -66,7 +74,21 @@ WAN = NetProfile(
     description="transatlantic internet path, latency < 300 ms",
 )
 
-PROFILES = {profile.name: profile for profile in (LAN, GEANT, WAN)}
+HUNDRED_GIG = NetProfile(
+    name="100g",
+    label="datacentre <-> datacentre",
+    spec=LinkSpec(latency=0.005, bandwidth=100.0 * GBIT),
+    server_bandwidth=100.0 * GBIT,
+    client_bandwidth=100.0 * GBIT,
+    description=(
+        "100 Gb/s-class R&E link between storage federations, the "
+        "target of the HTTPS third-party-copy benchmarking campaigns"
+    ),
+)
+
+PROFILES = {
+    profile.name: profile for profile in (LAN, GEANT, WAN, HUNDRED_GIG)
+}
 
 
 def build_network(

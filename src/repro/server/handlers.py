@@ -5,16 +5,22 @@
 :mod:`repro.server.app` drive it over simulated or real transports.
 
 Supported surface: GET (full / single range / multi range / metalink
-negotiation / redirect mode), HEAD, PUT (with If-Match), DELETE,
-OPTIONS, MKCOL and PROPFIND (depth 0/1) — the set davix exercises.
+negotiation / redirect mode), HEAD, PUT (whole-object with If-Match,
+or ranged ``Content-Range`` chunk uploads), DELETE, OPTIONS, MKCOL,
+PROPFIND (depth 0/1) and COPY/MOVE — local, plus WLCG-style
+third-party COPY in pull (``Source`` header) and push (remote
+``Destination``) modes, where this server becomes the active side of a
+multi-stream site-to-site transfer (:mod:`repro.core.tpc`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import HttpParseError, HttpProtocolError
 from repro.http import Headers, Request, Response, Url
+from repro.http.ranges import parse_content_range
 from repro.metalink import (
     METALINK_MEDIA_TYPE,
     Metalink,
@@ -58,6 +64,16 @@ class ServerConfig:
     #: Serve the Prometheus text exposition of the app's registry on
     #: GET of this path (e.g. ``"/metrics"``); None = disabled.
     metrics_path: Optional[str] = None
+    #: ``Cache-Control`` header attached to 200/206/304 GET and HEAD
+    #: responses (e.g. ``"max-age=120"``); None = no header.
+    cache_control: Optional[str] = None
+    #: Default stream count for third-party copies (no
+    #: ``X-Number-Of-Streams`` header on the COPY).
+    tpc_streams: int = 4
+    #: Hard cap on client-requested TPC stream counts.
+    tpc_max_streams: int = 16
+    #: Chunk size of third-party-copy ranged transfers.
+    tpc_chunk: int = 8 * 1024 * 1024
 
 
 @dataclass
@@ -88,6 +104,34 @@ class ServedResponse:
         )
 
 
+class _PartialUpload:
+    """Accumulator for one ranged (``Content-Range``) upload."""
+
+    __slots__ = ("total", "buffer", "spans", "content_type")
+
+    def __init__(self, total: int, content_type: str):
+        self.total = total
+        self.buffer = bytearray(total)
+        #: Received byte spans, kept merged and sorted.
+        self.spans: List[Tuple[int, int]] = []
+        self.content_type = content_type
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.buffer[offset:offset + len(data)] = data
+        merged: List[Tuple[int, int]] = []
+        for start, length in sorted(self.spans + [(offset, len(data))]):
+            if merged and start <= merged[-1][0] + merged[-1][1]:
+                end = max(merged[-1][0] + merged[-1][1], start + length)
+                merged[-1] = (merged[-1][0], end - merged[-1][0])
+            else:
+                merged.append((start, length))
+        self.spans = merged
+
+    @property
+    def complete(self) -> bool:
+        return self.spans == [(0, self.total)]
+
+
 class StorageApp:
     """The storage service: object store + HTTP semantics + faults."""
 
@@ -110,8 +154,13 @@ class StorageApp:
         self.metrics = metrics
         self.requests_handled = 0
         self.requests_by_method: Dict[str, int] = {}
-        #: davix context for third-party-copy pulls (lazy).
+        #: davix context for third-party-copy transfers (lazy).
         self._tpc_context = None
+        #: Optional :class:`~repro.core.RequestParams` for the TPC
+        #: context (e.g. tuned ``TcpOptions`` for a fat site link).
+        self.tpc_params = None
+        #: In-progress ranged uploads: path -> _PartialUpload.
+        self._uploads: Dict[str, _PartialUpload] = {}
         #: Optional :class:`~repro.server.accesslog.AccessLog`.
         self.access_log = None
         #: Optional :class:`~repro.obs.Tracer`: the serve loop starts a
@@ -156,9 +205,14 @@ class StorageApp:
             self, f"_handle_{request.method.lower()}", None
         )
         if handler is None:
-            served = ServedResponse(
-                self._error(405, f"method {request.method} not allowed")
+            # RFC 7231 §6.5.5: a 405 must advertise what *would* work.
+            response = self._error(
+                405, f"method {request.method} not allowed"
             )
+            response.headers.set(
+                "Allow", self._allowed_methods(request.path)
+            )
+            served = ServedResponse(response)
         else:
             try:
                 served = handler(request)
@@ -185,6 +239,14 @@ class StorageApp:
         served.response.headers.setdefault(
             "Server", self.config.server_name
         )
+        if (
+            self.config.cache_control is not None
+            and request.method in ("GET", "HEAD")
+            and served.response.status in (200, 206, 304)
+        ):
+            served.response.headers.setdefault(
+                "Cache-Control", self.config.cache_control
+            )
         served.service_time += self.config.service_overhead
         served.service_time += (
             served.body_length / self.config.disk_bandwidth
@@ -236,6 +298,11 @@ class StorageApp:
         if self._not_modified(request, obj):
             headers = Headers([("ETag", obj.etag)])
             return ServedResponse(Response(304, headers))
+        # RFC 7232 §3.1: If-Match guards reads against version churn —
+        # TPC pull streams send it on every ranged chunk.
+        if_match = request.headers.get("If-Match")
+        if if_match is not None and if_match.strip() != obj.etag:
+            return ServedResponse(self._error(412, "ETag mismatch"))
 
         range_header = request.headers.get("Range")
         if range_header is not None:
@@ -253,6 +320,11 @@ class StorageApp:
         )
         if plan.status == 416:
             return ServedResponse(Response(416, plan.headers))
+        digest = self._digest_header(request, obj)
+        if digest is not None:
+            # RFC 3230: the digest is of the *representation* (the
+            # whole object), even on a partial response.
+            plan.headers.set("Digest", digest)
         if plan.multipart_boundary is not None:
             body = plan.build_multipart_body(obj)
             self.store.bytes_read += plan.body_bytes
@@ -280,9 +352,15 @@ class StorageApp:
                 ("ETag", obj.etag),
             ]
         )
+        digest = self._digest_header(request, obj)
+        if digest is not None:
+            headers.set("Digest", digest)
         return ServedResponse(Response(200, headers))
 
     def _handle_put(self, request: Request) -> ServedResponse:
+        content_range = request.headers.get("Content-Range")
+        if content_range is not None:
+            return self._ranged_put(request, content_range)
         if_match = request.headers.get("If-Match")
         if if_match is not None:
             try:
@@ -304,8 +382,58 @@ class StorageApp:
             ),
         )
         status = 204 if existed else 201
+        headers = Headers([("ETag", obj.etag)])
+        digest = self._digest_header(request, obj)
+        if digest is not None:
+            headers.set("Digest", digest)
+        return ServedResponse(Response(status, headers))
+
+    def _ranged_put(
+        self, request: Request, content_range: str
+    ) -> ServedResponse:
+        """One chunk of a striped upload (TPC push mode).
+
+        Chunks accumulate per path; once the spans cover the whole
+        announced total, the object commits atomically and the reply
+        carries the committed ETag (and ``Digest`` when asked for).
+        Until then each chunk is answered ``202 Accepted``.
+        """
+        try:
+            offset, length, total = parse_content_range(content_range)
+        except (HttpParseError, HttpProtocolError) as exc:
+            return ServedResponse(self._error(400, str(exc)))
+        if total is None:
+            return ServedResponse(
+                self._error(400, "Content-Range PUT requires a total")
+            )
+        if length != len(request.body) or offset + length > total:
+            return ServedResponse(
+                self._error(400, "Content-Range does not match body")
+            )
+        path = request.path
+        upload = self._uploads.get(path)
+        if upload is None or upload.total != total:
+            upload = _PartialUpload(
+                total,
+                request.headers.get(
+                    "Content-Type", "application/octet-stream"
+                ),
+            )
+            self._uploads[path] = upload
+        upload.write(offset, request.body)
+        if not upload.complete:
+            return ServedResponse(Response(202))
+        del self._uploads[path]
+        existed = self.store.exists(path)
+        obj = self.store.put(
+            path, bytes(upload.buffer), upload.content_type
+        )
+        headers = Headers([("ETag", obj.etag)])
+        digest = self._digest_header(request, obj)
+        if digest is not None:
+            headers.set("Digest", digest)
         return ServedResponse(
-            Response(status, Headers([("ETag", obj.etag)]))
+            Response(204 if existed else 201, headers)
         )
 
     def _handle_delete(self, request: Request) -> ServedResponse:
@@ -320,16 +448,30 @@ class StorageApp:
     def _handle_options(self, request: Request) -> ServedResponse:
         headers = Headers(
             [
-                (
-                    "Allow",
-                    "GET, HEAD, PUT, DELETE, OPTIONS, PROPFIND, "
-                    "MKCOL, COPY, MOVE",
-                ),
+                ("Allow", self._allowed_methods(request.path)),
                 ("DAV", "1"),
-                ("Accept-Ranges", "bytes"),
             ]
         )
+        if (
+            self.store.exists(request.path)
+            and not self.store.is_collection(request.path)
+        ):
+            headers.set("Accept-Ranges", "bytes")
         return ServedResponse(Response(200, headers))
+
+    def _allowed_methods(self, path: str) -> str:
+        """The verbs actually supported at ``path``, per resource type.
+
+        COPY appears everywhere: files and collections copy out, and a
+        missing path is a valid pull-mode TPC destination.
+        """
+        if not self.store.exists(path):
+            return "OPTIONS, PUT, MKCOL, COPY"
+        if self.store.is_collection(path):
+            return "OPTIONS, PROPFIND, DELETE, COPY, MOVE"
+        return (
+            "GET, HEAD, OPTIONS, PROPFIND, PUT, DELETE, COPY, MOVE"
+        )
 
     def _handle_mkcol(self, request: Request) -> ServedResponse:
         try:
@@ -341,41 +483,89 @@ class StorageApp:
     def _handle_copy(self, request: Request) -> ServedResponse:
         source_url = request.headers.get("Source")
         if source_url is not None:
-            return self._third_party_copy(request, source_url)
+            return self._third_party_copy(request, source_url, "pull")
+        destination = request.headers.get("Destination")
+        if destination is not None and self._is_remote_destination(
+            request, destination
+        ):
+            return self._third_party_copy(request, destination, "push")
         return self._copy_or_move(request, remove_source=False)
 
-    def _third_party_copy(
-        self, request: Request, source_url: str
-    ) -> ServedResponse:
-        """WLCG-style HTTP third-party copy (pull mode).
+    def _is_remote_destination(
+        self, request: Request, destination: str
+    ) -> bool:
+        """Does the Destination header name another origin?"""
+        try:
+            url = Url.parse(destination)
+        except Exception:
+            return False  # bare path: always local
+        host = request.headers.get("Host")
+        if host is None:
+            return False
+        return url.netloc != host and url.host != host
 
-        The client asks *this* server to fetch ``Source`` into
-        ``request.path``; the transfer flows site-to-site without
-        crossing the client's link. The pull runs as deferred work —
-        this server acts as a davix client towards the source.
-        """
-        destination = request.path
-
-        def pull():
+    def _tpc(self):
+        """The lazy davix context this server transfers through."""
+        if self._tpc_context is None:
             from repro.core.context import Context
-            from repro.core.file import DavFile
-            from repro.errors import DavixError, NetworkError
 
-            if self._tpc_context is None:
-                self._tpc_context = Context()
-            try:
-                data = yield from DavFile(
-                    self._tpc_context, source_url
-                ).read_all()
-            except (DavixError, NetworkError) as exc:
-                body = f"third-party copy failed: {exc}\n".encode()
-                return Response(
-                    502, Headers([("Content-Type", "text/plain")]), body
-                )
-            obj = self.store.put(destination, data)
-            return Response(201, Headers([("ETag", obj.etag)]))
+            self._tpc_context = Context(
+                params=self.tpc_params, tracer=self.tracer
+            )
+        return self._tpc_context
 
-        return ServedResponse(Response(500), deferred=pull)
+    def _third_party_copy(
+        self, request: Request, remote: str, mode: str
+    ) -> ServedResponse:
+        """WLCG-style HTTP third-party copy (pull or push mode).
+
+        Pull: the client asks *this* server to fetch ``Source`` into
+        ``request.path``. Push: the client asks this server to upload
+        ``request.path`` to a remote ``Destination``. Either way the
+        bytes flow site-to-site over N concurrent ranged streams
+        without crossing the client's link; the transfer runs as
+        deferred work (this server acts as a davix client towards its
+        peer) and the pending COPY answers 202 with a perf-marker
+        stream (:mod:`repro.core.tpc`).
+        """
+        from repro.core.tpc import TpcConfig, run_pull, run_push
+        from repro.obs.propagation import (
+            TRACEPARENT_HEADER,
+            parse_traceparent,
+        )
+
+        path = request.path
+        if mode == "push" and not self.store.exists(path):
+            return ServedResponse(self._not_found(path))
+        requested = request.headers.get_int("X-Number-Of-Streams")
+        streams = (
+            requested
+            if requested is not None and requested > 0
+            else self.config.tpc_streams
+        )
+        config = TpcConfig(
+            streams=min(streams, self.config.tpc_max_streams),
+            chunk_size=self.config.tpc_chunk,
+        )
+        trace_ctx = parse_traceparent(
+            request.headers.get(TRACEPARENT_HEADER)
+        )
+
+        def transfer():
+            run = run_pull if mode == "pull" else run_push
+            response = yield from run(
+                self._tpc(),
+                self.store,
+                path,
+                remote,
+                config,
+                metrics=self.metrics,
+                events=self.events,
+                trace_ctx=trace_ctx,
+            )
+            return response
+
+        return ServedResponse(Response(500), deferred=transfer)
 
     def _handle_move(self, request: Request) -> ServedResponse:
         return self._copy_or_move(request, remove_source=True)
@@ -394,19 +584,41 @@ class StorageApp:
         except Exception:
             target = destination  # tolerate a bare path
         overwrite = request.headers.get("Overwrite", "T").upper() != "F"
-        try:
-            source = self.store.get(request.path)
-        except StoreError:
+        if not self.store.exists(request.path):
             return ServedResponse(self._not_found(request.path))
         existed = self.store.exists(target)
         if existed and not overwrite:
             return ServedResponse(
                 self._error(412, f"destination exists: {target}")
             )
+        if self.store.is_collection(request.path):
+            # Deep copy (RFC 4918 COPY on collections is Depth
+            # infinity by default).
+            if existed:
+                if self.store.is_collection(target):
+                    self.store.remove_tree(target)
+                else:
+                    self.store.delete(target)
+            self._copy_tree(request.path, target)
+            if remove_source:
+                self.store.remove_tree(request.path)
+            return ServedResponse(Response(204 if existed else 201))
+        source = self.store.get(request.path)
         self.store.put(target, source.content, source.content_type)
         if remove_source:
             self.store.delete(request.path)
         return ServedResponse(Response(204 if existed else 201))
+
+    def _copy_tree(self, source: str, target: str) -> None:
+        """Recursively copy a collection (empty members included)."""
+        self.store.ensure_collection(target)
+        for member in self.store.list_collection(source):
+            child = target.rstrip("/") + "/" + member.rsplit("/", 1)[-1]
+            if self.store.is_collection(member):
+                self._copy_tree(member, child)
+            else:
+                obj = self.store.get(member)
+                self.store.put(child, obj.content, obj.content_type)
 
     def _handle_propfind(self, request: Request) -> ServedResponse:
         depth = request.headers.get("Depth", "infinity").strip()
@@ -428,6 +640,17 @@ class StorageApp:
         return ServedResponse(Response(207, headers, body))
 
     # -- helpers ------------------------------------------------------------------
+
+    def _digest_header(self, request: Request, obj) -> Optional[str]:
+        """RFC 3230: answer ``Want-Digest`` with a supported algo."""
+        want = request.headers.get("Want-Digest")
+        if want is None:
+            return None
+        for token in want.split(","):
+            algo = token.split(";")[0].strip().lower()
+            if algo in ("adler32", "md5"):
+                return f"{algo}={obj.checksum(algo)}"
+        return None
 
     def _stream_object(self, obj, offset: int, length: int):
         """Yield the object range in ``send_chunk`` pieces."""

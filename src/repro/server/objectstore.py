@@ -23,6 +23,7 @@ __all__ = [
     "Content",
     "BytesContent",
     "SyntheticContent",
+    "ZeroContent",
     "StoredObject",
     "ObjectStore",
     "StoreError",
@@ -256,6 +257,38 @@ class ObjectStore:
             self._collections.remove(path)
             return
         raise StoreError(f"no such object: {path}")
+
+    def ensure_collection(self, path: str) -> None:
+        """Create ``path`` (and any missing parents) as a collection."""
+        path = _normalise(path)
+        if path in self._objects:
+            raise StoreError(f"{path} is an object")
+        current = ""
+        for part in path.split("/")[1:]:
+            if part:
+                current += "/" + part
+                self._collections.add(current)
+
+    def remove_tree(self, path: str) -> None:
+        """Delete an object, or a collection and everything under it."""
+        path = _normalise(path)
+        if path in self._objects:
+            del self._objects[path]
+            return
+        if path not in self._collections:
+            raise StoreError(f"no such object: {path}")
+        if path == "/":
+            raise StoreError("cannot delete the root collection")
+        prefix = path + "/"
+        for candidate in [
+            p for p in self._objects if p.startswith(prefix)
+        ]:
+            del self._objects[candidate]
+        for candidate in [
+            c for c in self._collections if c.startswith(prefix)
+        ]:
+            self._collections.discard(candidate)
+        self._collections.remove(path)
 
     def _ensure_parents(self, path: str) -> None:
         parts = path.split("/")[1:-1]

@@ -31,7 +31,7 @@ proxy is itself a davix client towards the origin servers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.pagecache import DEFAULT_PAGE_SIZE, PageCache
 from repro.errors import HttpParseError, HttpProtocolError
@@ -43,6 +43,7 @@ from repro.http import (
     Url,
     encode_byteranges,
     make_boundary,
+    parse_cache_control,
     parse_range_header,
     resolve_ranges,
 )
@@ -64,6 +65,7 @@ FORWARDED_HEADERS = (
     "Accept-Ranges",
     "Content-Range",
     "Last-Modified",
+    "Cache-Control",
 )
 
 #: Gap spans packed into one origin round trip (stays under common
@@ -126,6 +128,9 @@ class ProxyApp:
             max(0, cache_bytes), page_size, metrics=metrics
         )
         self._meta: Dict[str, _ObjectMeta] = {}
+        #: URLs the origin marked ``Cache-Control: no-store`` — always
+        #: relayed, never written to the page store again.
+        self._no_store: Set[str] = set()
         self._context = None  # lazy davix context for upstream fetches
         self.stats = {
             "requests": 0,
@@ -149,7 +154,11 @@ class ProxyApp:
                 _error(400, "proxy requires an absolute request URI")
             )
 
-        if request.method != "GET" or self.cache_bytes <= 0:
+        if (
+            request.method != "GET"
+            or self.cache_bytes <= 0
+            or str(target) in self._no_store
+        ):
             self.stats["bypassed"] += 1
             return ServedResponse(
                 Response(500), deferred=lambda: self._relay(request, target)
@@ -279,7 +288,7 @@ class ProxyApp:
                         return served
                     return _error(502, "upstream failed and cache incomplete")
                 if response.status == 304:
-                    meta.fresh_until = now + self.default_ttl
+                    meta.fresh_until = now + self._ttl_for(response)
                     outcome = "REVALIDATED"
                     saved_bytes = sum(length for _, length in need)
                     continue
@@ -381,8 +390,39 @@ class ProxyApp:
 
     # -- ingestion & accounting -------------------------------------------------
 
+    def _ttl_for(self, response: Response) -> float:
+        """Freshness lifetime the origin granted via ``Cache-Control``.
+
+        ``max-age`` overrides the proxy's ``default_ttl``; ``no-cache``
+        means "store but revalidate every time" (TTL zero). Anything
+        else — including an absent or malformed header — falls back to
+        the configured default.
+        """
+        directives = parse_cache_control(
+            response.headers.get("Cache-Control")
+        )
+        if "no-cache" in directives:
+            return 0.0
+        max_age = directives.get("max-age")
+        if max_age is not None:
+            try:
+                return max(0.0, float(max_age))
+            except ValueError:
+                return self.default_ttl
+        return self.default_ttl
+
     def _ingest(self, url: str, response: Response, now: float) -> bool:
         """Decompose one origin response into pages + meta."""
+        directives = parse_cache_control(
+            response.headers.get("Cache-Control")
+        )
+        if "no-store" in directives:
+            # The origin forbids storing this response: purge whatever
+            # we hold and pin the URL to the relay path.
+            self.pages.invalidate(url)
+            self._meta.pop(url, None)
+            self._no_store.add(url)
+            return False
         etag = response.headers.get("ETag")
         meta = self._meta.setdefault(url, _ObjectMeta())
         if response.status == 200:
@@ -427,7 +467,7 @@ class ProxyApp:
         last_modified = response.headers.get("Last-Modified")
         if last_modified:
             meta.last_modified = last_modified
-        meta.fresh_until = now + self.default_ttl
+        meta.fresh_until = now + self._ttl_for(response)
         self.stats["evictions"] = self.pages.stats["evictions"]
         return True
 

@@ -139,6 +139,36 @@ def _cache_section(events: List[dict]) -> List[str]:
     return lines
 
 
+def _tpc_section(events: List[dict]) -> List[str]:
+    """Per-mode third-party-copy rollup over ``tpc`` events."""
+    by_mode: Dict[str, List[dict]] = {}
+    for event in events:
+        by_mode.setdefault(str(event.get("mode", "?")), []).append(event)
+    rows = []
+    for mode, transfers in sorted(by_mode.items()):
+        ok = [e for e in transfers if e.get("ok")]
+        throughputs = sorted(
+            float(e.get("throughput", 0.0)) for e in ok
+        )
+        rows.append(
+            [
+                mode,
+                str(len(transfers)),
+                str(len(ok)),
+                str(sum(int(e.get("bytes", 0)) for e in ok)),
+                str(sum(int(e.get("retries", 0)) for e in transfers)),
+                _fmt(percentile(throughputs, 50)) if throughputs else "-",
+            ]
+        )
+    lines = ["Third-party copies (tpc events)"]
+    lines += _table(
+        ["mode", "transfers", "ok", "bytes", "retries",
+         "p50_throughput"],
+        rows,
+    )
+    return lines
+
+
 def _slo_section(
     events: List[dict], policy: SloPolicy
 ) -> List[str]:
@@ -191,8 +221,9 @@ def render_report(
 
     ``events`` is any iterable of wide-event dicts (parsed JSONL);
     ``run`` events feed the execution table, client-side ``request``
-    events feed the phase breakdown and the SLO verdicts, and ``cache``
-    events (page-cache-armed campaigns) feed the cache counters.
+    events feed the phase breakdown and the SLO verdicts, ``cache``
+    events (page-cache-armed campaigns) feed the cache counters, and
+    ``tpc`` events feed the third-party-copy rollup.
     Sections with no events are omitted; an empty log renders a single
     stub line.
     """
@@ -213,6 +244,9 @@ def render_report(
     caches = [e for e in events if e.get("kind") == "cache"]
     if caches:
         sections.append(_cache_section(caches))
+    copies = [e for e in events if e.get("kind") == "tpc"]
+    if copies:
+        sections.append(_tpc_section(copies))
     title = "HammerCloud run report"
     lines = [title, "=" * len(title)]
     if not sections:

@@ -183,4 +183,12 @@ def test_profile_latencies_match_paper_bounds():
     assert LAN.rtt < 0.005
     assert GEANT.rtt < 0.050
     assert WAN.rtt < 0.300
-    assert set(PROFILES) == {"lan", "geant", "wan"}
+    assert set(PROFILES) == {"lan", "geant", "wan", "100g"}
+
+
+def test_hundred_gig_profile_shape():
+    from repro.net import HUNDRED_GIG
+
+    assert HUNDRED_GIG.spec.bandwidth == 100 * 125_000_000
+    assert HUNDRED_GIG.server_bandwidth == HUNDRED_GIG.client_bandwidth
+    assert HUNDRED_GIG.rtt == 0.01

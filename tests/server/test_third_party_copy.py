@@ -1,17 +1,25 @@
-"""HTTP third-party copy: destination server pulls from the source."""
+"""HTTP third-party copy: storage nodes move objects site-to-site.
+
+Pull mode (COPY to the destination with a ``Source`` header) and push
+mode (COPY to the source with an absolute ``Destination``) both answer
+202 with a perf-marker stream; the orchestrating client only carries
+control traffic.
+"""
 
 import pytest
 
 from repro.concurrency import SimRuntime
 from repro.core import DavixClient, RequestParams
-from repro.errors import RequestError
+from repro.core.tpc import parse_marker_stream
+from repro.errors import DavixError
 from repro.http import Headers, Request
 from repro.net import LinkSpec, Network
-from repro.server import HttpServer, ObjectStore, StorageApp
+from repro.obs import EventLog, MetricsRegistry, Tracer
+from repro.server import HttpServer, ObjectStore, ServerConfig, StorageApp
 from repro.sim import Environment
 
 
-def tpc_world():
+def tpc_world(server_config=None, observe=False, tracer=None):
     """client + two storage sites; sites can reach each other."""
     env = Environment()
     net = Network(env, seed=2)
@@ -26,11 +34,19 @@ def tpc_world():
     apps = {}
     for name in ("site-a", "site-b"):
         store = ObjectStore()
-        app = StorageApp(store)
-        HttpServer(SimRuntime(net, name), app, port=80).start()
+        app = StorageApp(store, config=server_config)
+        if observe:
+            app.metrics = MetricsRegistry()
+            app.events = EventLog()
+        runtime = SimRuntime(net, name)
+        if tracer is not None:
+            app.tracer = Tracer(clock=runtime.now)
+        HttpServer(runtime, app, port=80).start()
         apps[name] = app
     client = DavixClient(
-        SimRuntime(net, "client"), params=RequestParams(retries=0)
+        SimRuntime(net, "client"),
+        params=RequestParams(retries=0),
+        tracer=tracer,
     )
     return client, net, apps
 
@@ -65,7 +81,30 @@ def test_third_party_copy_moves_data_site_to_site():
     response = run_copy(
         client, "site-b", "/data/dst.bin", "http://site-a/data/src.bin"
     )
-    assert response.status == 201
+    assert response.status == 202
+    summary = parse_marker_stream(response.body)
+    assert summary.ok
+    assert summary.bytes_transferred == len(payload)
+    assert apps["site-b"].store.read("/data/dst.bin") == payload
+
+
+def test_third_party_copy_multi_stream_chunks():
+    config = ServerConfig(tpc_chunk=256 * 1024, tpc_streams=4)
+    client, net, apps = tpc_world(server_config=config)
+    payload = bytes(range(256)) * 4000  # ~1 MB -> 4 chunks
+    apps["site-a"].store.put("/data/src.bin", payload)
+
+    response = run_copy(
+        client, "site-b", "/data/dst.bin", "http://site-a/data/src.bin"
+    )
+    summary = parse_marker_stream(response.body)
+    assert summary.ok
+    assert len(summary.markers) == 4  # one frame per chunk
+    assert all(m.stripe_count == 4 for m in summary.markers)
+    # Cumulative byte counts are monotone and end at the full size.
+    counts = [m.bytes_transferred for m in summary.markers]
+    assert counts == sorted(counts)
+    assert counts[-1] == len(payload)
     assert apps["site-b"].store.read("/data/dst.bin") == payload
 
 
@@ -79,7 +118,8 @@ def test_third_party_copy_bypasses_client_link():
     start = client.runtime.now()
     response = run_copy(client, "site-b", "/dst", "http://site-a/src")
     elapsed = client.runtime.now() - start
-    assert response.status == 201
+    assert response.status == 202
+    assert parse_marker_stream(response.body).ok
     assert elapsed < 0.5  # relay via client would be ~1 s
     client_bytes = (
         net.host("client").uplink.bytes_carried
@@ -111,3 +151,116 @@ def test_local_copy_still_works_without_source_header():
     apps["site-b"].store.put("/a", b"local")
     client.copy("http://site-b/a", "http://site-b/b")
     assert apps["site-b"].store.read("/b") == b"local"
+
+
+def test_client_third_party_copy_pull():
+    client, net, apps = tpc_world()
+    payload = b"payload-" * 1000
+    apps["site-a"].store.put("/src", payload)
+    summary = client.third_party_copy(
+        "http://site-a/src", "http://site-b/dst"
+    )
+    assert summary.ok
+    assert summary.bytes_transferred == len(payload)
+    assert apps["site-b"].store.read("/dst") == payload
+
+
+def test_client_third_party_copy_push():
+    client, net, apps = tpc_world()
+    payload = b"pushed-" * 2000
+    apps["site-a"].store.put("/src", payload)
+    summary = client.third_party_copy(
+        "http://site-a/src", "http://site-b/dst", mode="push"
+    )
+    assert summary.ok
+    assert apps["site-b"].store.read("/dst") == payload
+
+
+def test_push_missing_source_is_404():
+    client, net, apps = tpc_world()
+    with pytest.raises(DavixError) as excinfo:
+        client.third_party_copy(
+            "http://site-a/nope", "http://site-b/dst", mode="push"
+        )
+    assert excinfo.value.status == 404
+
+
+def test_streams_header_caps_at_server_limit():
+    config = ServerConfig(tpc_chunk=64 * 1024, tpc_max_streams=3)
+    client, net, apps = tpc_world(server_config=config)
+    payload = b"s" * (8 * 64 * 1024)  # 8 chunks
+    apps["site-a"].store.put("/src", payload)
+    summary = client.third_party_copy(
+        "http://site-a/src", "http://site-b/dst", streams=16
+    )
+    assert summary.ok
+    # Requested 16 streams, the server clamps to its configured max.
+    assert all(m.stripe_count == 3 for m in summary.markers)
+    assert apps["site-b"].store.read("/dst") == payload
+
+
+def test_pull_digest_mismatch_never_reports_success():
+    client, net, apps = tpc_world(observe=True)
+    payload = b"honest bytes" * 100
+    obj = apps["site-a"].store.put("/src", payload)
+    # Poison the advertised checksum: the wire bytes are fine but the
+    # end-to-end Digest comparison must fail and nothing may commit.
+    obj._checksums["adler32"] = "deadbeef"
+    with pytest.raises(DavixError) as excinfo:
+        client.third_party_copy("http://site-a/src", "http://site-b/dst")
+    assert "digest mismatch" in str(excinfo.value)
+    assert not apps["site-b"].store.exists("/dst")
+    mismatches = apps["site-b"].metrics.counter(
+        "tpc.digest_mismatch_total"
+    )
+    assert mismatches.value == 1
+
+
+def test_zero_length_object_copies_both_modes():
+    client, net, apps = tpc_world()
+    apps["site-a"].store.put("/empty", b"")
+    pulled = client.third_party_copy(
+        "http://site-a/empty", "http://site-b/pulled"
+    )
+    assert pulled.ok
+    assert apps["site-b"].store.read("/pulled") == b""
+    pushed = client.third_party_copy(
+        "http://site-a/empty", "http://site-b/pushed", mode="push"
+    )
+    assert pushed.ok
+    assert apps["site-b"].store.read("/pushed") == b""
+
+
+def test_tpc_metrics_and_events():
+    client, net, apps = tpc_world(observe=True)
+    payload = b"m" * 500_000
+    apps["site-a"].store.put("/src", payload)
+    client.third_party_copy("http://site-a/src", "http://site-b/dst")
+    metrics = apps["site-b"].metrics
+    assert metrics.counter(
+        "tpc.transfers_total", mode="pull"
+    ).value == 1
+    assert metrics.counter(
+        "tpc.bytes_total", mode="pull"
+    ).value == len(payload)
+    events = [
+        e for e in apps["site-b"].events.records() if e["kind"] == "tpc"
+    ]
+    assert len(events) == 1
+    assert events[0]["ok"] is True
+    assert events[0]["bytes"] == len(payload)
+    assert events[0]["throughput"] > 0
+
+
+def test_transfer_span_joins_client_trace():
+    tracer = Tracer()
+    client, net, apps = tpc_world(tracer=tracer)
+    apps["site-a"].store.put("/src", b"traced")
+    with client.span("replicate") as root:
+        client.third_party_copy("http://site-a/src", "http://site-b/dst")
+    transfer_spans = apps["site-b"].tracer.by_name("tpc-transfer")
+    assert len(transfer_spans) == 1
+    # The destination server's transfer span carries the client's
+    # trace id: one story across both processes.
+    assert transfer_spans[0].trace_id == root.trace_id
+    assert apps["site-b"].tracer.by_name("tpc-chunk")

@@ -238,6 +238,32 @@ def test_cli_third_party_copy():
             assert target_app.store.read("/copied") == b"tpc-bytes"
 
 
+def test_cli_third_party_copy_push_with_streams():
+    from repro.server import ObjectStore, StorageApp, real_server
+
+    src_store = ObjectStore()
+    src_store.put("/payload", b"push-bytes" * 1000)
+    with real_server(StorageApp(src_store)) as source:
+        with real_server(StorageApp(ObjectStore())) as target:
+            target_app = target.app
+            code, output = run_cli(
+                [
+                    "copy",
+                    "--mode",
+                    "push",
+                    "--streams",
+                    "2",
+                    f"http://127.0.0.1:{source.port}/payload",
+                    f"http://127.0.0.1:{target.port}/copied",
+                ]
+            )
+            assert code == 0
+            assert "push" in output
+            assert (
+                target_app.store.read("/copied") == b"push-bytes" * 1000
+            )
+
+
 def test_cli_get_through_proxy():
     """The --proxy flag routes traffic through a caching proxy."""
     from repro.server import (

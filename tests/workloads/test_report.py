@@ -113,6 +113,41 @@ def test_cache_armed_campaign_reports_cache_counters():
     assert "Page cache" not in run_campaign(repetitions=1).report()
 
 
+def test_tpc_events_grow_a_copy_section():
+    """``tpc`` wide events render the per-mode third-party-copy
+    rollup; failed transfers count but contribute no bytes."""
+    events = [
+        {
+            "kind": "tpc", "mode": "pull", "ok": True,
+            "bytes": 1_000_000, "retries": 1, "throughput": 5e8,
+        },
+        {
+            "kind": "tpc", "mode": "pull", "ok": True,
+            "bytes": 1_000_000, "retries": 0, "throughput": 7e8,
+        },
+        {
+            "kind": "tpc", "mode": "push", "ok": False,
+            "bytes": 0, "retries": 2, "throughput": 0.0,
+        },
+    ]
+    report = render_report(events)
+    assert "Third-party copies (tpc events)" in report
+    pull = next(
+        line for line in report.splitlines()
+        if line.split()[:1] == ["pull"]
+    )
+    assert pull.split() == [
+        "pull", "2", "2", "2000000", "1", "600000000.000000"
+    ]
+    push = next(
+        line for line in report.splitlines()
+        if line.split()[:1] == ["push"]
+    )
+    assert push.split() == ["push", "1", "0", "0", "2", "-"]
+    # Without tpc events the section never appears (goldens stable).
+    assert "Third-party" not in run_campaign(repetitions=1).report()
+
+
 def test_report_of_empty_log_is_a_stub():
     assert render_report([]) == (
         "HammerCloud run report\n"
