@@ -60,6 +60,17 @@ def test_ablation_cluster(benchmark):
         ["entries/cluster", "refills", "time (s)", "MB fetched"],
         rows,
         note="fewer, larger vectored requests amortise the 280 ms RTT",
+        params={
+            "clusters": list(CLUSTERS),
+            "fraction": 0.25,
+            "profile": WAN.name,
+            "scale": bench_scale(),
+            "seed": 19,
+        },
+        configs={
+            f"cluster-{entries}": [results[entries].wall_seconds]
+            for entries in CLUSTERS
+        },
     )
 
     # More entries per cluster -> fewer refills -> faster on the WAN.

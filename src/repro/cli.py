@@ -20,7 +20,6 @@ import argparse
 import pathlib
 import sys
 import time
-import warnings
 from typing import List, Optional
 
 from repro.concurrency import ThreadRuntime
@@ -80,19 +79,6 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="page granularity of the client page cache "
         "(default 65536)",
-    )
-    parser.add_argument(
-        "--parallel",
-        action="store_true",
-        help="[deprecated: use --inflight 4] dispatch vectored-read "
-        "batches (and multistream chunks) concurrently",
-    )
-    parser.add_argument(
-        "--max-inflight",
-        type=int,
-        metavar="N",
-        help="[deprecated: use --inflight N] cap on concurrent "
-        "in-flight requests per file",
     )
     resilience = parser.add_argument_group(
         "resilience",
@@ -302,33 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _inflight(args) -> Optional[int]:
-    """Effective in-flight cap: --inflight, or the deprecated
-    --max-inflight / bare --parallel (which warn and map through)."""
-    inflight = getattr(args, "inflight", None)
-    max_inflight = getattr(args, "max_inflight", None)
-    if max_inflight is not None:
-        warnings.warn(
-            "davix-tool --max-inflight is deprecated; use --inflight N",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if inflight is None:
-            inflight = max_inflight
-    if getattr(args, "parallel", False):
-        warnings.warn(
-            "davix-tool --parallel is deprecated; use --inflight 4",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if inflight is None:
-            inflight = 4
-    return inflight
-
-
 def _transfer(args) -> Optional[TransferConfig]:
     """The unified TransferConfig the flags describe (None = defaults)."""
-    inflight = _inflight(args)
+    inflight = getattr(args, "inflight", None)
     read_ahead = getattr(args, "read_ahead", False)
     cache_bytes = getattr(args, "cache_bytes", None)
     page_size = getattr(args, "page_size", None)
@@ -356,7 +318,7 @@ def _client(args) -> DavixClient:
             jitter=args.retry_jitter,
             seed=args.retry_seed,
         )
-    inflight = _inflight(args)
+    inflight = getattr(args, "inflight", None)
     transfer = _transfer(args)
     extra = {}
     if transfer is not None:

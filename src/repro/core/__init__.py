@@ -21,6 +21,7 @@ from repro.core.engine import TransferEngine
 from repro.core.transfer import TransferConfig
 from repro.core.failover import with_failover
 from repro.core.file import DavFile, FileStat
+from repro.core.objectclient import ObjectStoreClient
 from repro.core.multistream import (
     MultistreamResult,
     StreamStats,
@@ -67,6 +68,7 @@ __all__ = [
     "run_parallel",
     "with_failover",
     "DavFile",
+    "ObjectStoreClient",
     "FileStat",
     "MultistreamResult",
     "StreamStats",

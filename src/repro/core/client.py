@@ -17,7 +17,6 @@ overrides applied on top of the context default.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.concurrency.runtime import Runtime
@@ -238,7 +237,6 @@ class DavixClient:
         url,
         reads: Sequence[Tuple[int, int]],
         params: Optional[RequestParams] = None,
-        max_inflight: Optional[int] = None,
         transfer: Optional[TransferConfig] = None,
         read_ahead: Optional[bool] = None,
     ) -> List[bytes]:
@@ -248,27 +246,10 @@ class DavixClient:
         single bundle steering batch parallelism and the read-ahead
         engine. ``read_ahead`` arms (or pins off) the pipelined
         engine for this call regardless of the config.
-
-        .. deprecated:: ``max_inflight`` — pass
-           ``transfer=TransferConfig(max_inflight=...)`` instead.
         """
         overrides = {}
         if transfer is not None:
             overrides["transfer"] = transfer
-        if max_inflight is not None:
-            warnings.warn(
-                "pread_vec(max_inflight=...) is deprecated; pass "
-                "transfer=TransferConfig(max_inflight=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if "transfer" not in overrides:
-                base = (
-                    params if params is not None else self.context.params
-                ).effective_transfer()
-                overrides["transfer"] = base.with_(
-                    max_inflight=max_inflight
-                )
         file = DavFile(
             self.context,
             url,

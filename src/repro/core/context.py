@@ -16,7 +16,6 @@ sessions, vectored I/O, failover) — see ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
@@ -84,15 +83,10 @@ class RequestParams:
     max_vector_ranges: int = 256
     #: Merge fragments whose gap is below this many bytes.
     vector_gap: int = 512
-    #: .. deprecated:: superseded by ``transfer.max_inflight``; kept as
-    #:    a one-release alias (see :meth:`effective_transfer`). Maximum
-    #:    multi-range requests of one vectored read in flight at once.
-    vector_max_inflight: int = 1
 
     # -- transfer engine ------------------------------------------------------
-    #: The unified I/O-engine bundle (parallelism + read-ahead). When
-    #: set it is authoritative; the deprecated scattered knobs above
-    #: are ignored.
+    #: The unified I/O-engine bundle (parallelism + read-ahead).
+    #: ``None`` means the defaults (serial, no read-ahead).
     transfer: Optional[TransferConfig] = None
 
     # -- Metalink (Section 2.4) --------------------------------------------------
@@ -132,8 +126,6 @@ class RequestParams:
             raise ValueError("max_vector_ranges must be >= 1")
         if self.vector_gap < 0:
             raise ValueError("vector_gap must be >= 0")
-        if self.vector_max_inflight < 1:
-            raise ValueError("vector_max_inflight must be >= 1")
         if self.multistream_chunk < 1 or self.multistream_max_streams < 1:
             raise ValueError("multistream settings must be >= 1")
         if self.deadline is not None and self.deadline <= 0:
@@ -157,26 +149,13 @@ class RequestParams:
             jitter="none",
         )
 
-    def effective_transfer(self, warn: bool = False) -> TransferConfig:
-        """The operative :class:`~repro.core.transfer.TransferConfig`.
-
-        ``transfer`` when set; otherwise the deprecated
-        ``vector_max_inflight`` knob expressed as an equivalent config
-        (read-ahead off) so old configurations behave exactly as
-        before. With ``warn=True`` a :class:`DeprecationWarning` is
-        emitted when that legacy fallback actually changes behaviour —
-        i.e. ``vector_max_inflight`` was set away from its default.
-        """
+    def effective_transfer(self) -> TransferConfig:
+        """The operative :class:`~repro.core.transfer.TransferConfig`:
+        ``transfer`` when set, otherwise the defaults (serial, no
+        read-ahead)."""
         if self.transfer is not None:
             return self.transfer
-        if warn and self.vector_max_inflight != 1:
-            warnings.warn(
-                "RequestParams.vector_max_inflight is deprecated; pass "
-                "transfer=TransferConfig(max_inflight=...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        return TransferConfig(max_inflight=self.vector_max_inflight)
+        return TransferConfig()
 
     def replace(self, **changes) -> "RequestParams":
         """A copy with the given fields replaced (the uniform override
@@ -288,6 +267,7 @@ class Context:
                 budget_bytes=transfer.page_cache_bytes,
                 page_size=transfer.page_size,
                 metrics=self.metrics,
+                clock=self._now,
             )
         return self.page_cache
 

@@ -43,6 +43,7 @@ from repro.http import (
     decode_byteranges,
     format_range_header,
 )
+from repro.http.headers import parse_cache_control
 from repro.http.multipart import MultipartStream, content_type_boundary
 from repro.http.ranges import parse_content_range
 from repro.metalink import METALINK_MEDIA_TYPE, Metalink, parse_metalink
@@ -93,6 +94,28 @@ def _content_range_total(response: Response) -> Optional[int]:
     except HttpParseError:
         return None
     return total
+
+
+def _cache_ttl(response: Response) -> Optional[float]:
+    """The page-cache TTL a response's ``Cache-Control`` dictates.
+
+    ``None`` = no freshness directive (cacheable, unbounded); ``0.0``
+    = the origin forbids reuse (``no-store``/``no-cache``/
+    ``max-age=0``); a positive value = ``max-age`` seconds.
+    """
+    value = response.headers.get("Cache-Control")
+    if value is None:
+        return None
+    directives = parse_cache_control(value)
+    if "no-store" in directives or "no-cache" in directives:
+        return 0.0
+    max_age = directives.get("max-age")
+    if max_age is None:
+        return None
+    try:
+        return max(0.0, float(max_age))
+    except (TypeError, ValueError):
+        return None
 
 
 def raise_for_status(response: Response, path: str) -> None:
@@ -307,7 +330,9 @@ class DavFile:
         if length == 0:
             return b""
         offset, length = int(offset), int(length)
-        if self._pagecache is not None:
+        if self._pagecache is not None and not self._pagecache.suppressed(
+            self._cache_key
+        ):
             data = yield from self._pread_cached(offset, length)
             return data
         if self._engine is not None:
@@ -319,18 +344,26 @@ class DavFile:
 
     # -- page-cache plumbing ------------------------------------------------
 
-    def _cache_insert(self, etag: Optional[str], pieces) -> None:
+    def _cache_insert(
+        self, etag: Optional[str], pieces, response: Optional[Response] = None
+    ) -> None:
         """Feed response bytes into the page cache (no-op when off).
 
         ``pieces`` yields ``(offset, data, total)``; only pages fully
         covered by a piece are stored, and a stale ETag invalidates
-        before anything lands (see :meth:`PageCache.insert`).
+        before anything lands (see :meth:`PageCache.insert`). When
+        ``response`` is given its ``Cache-Control`` header becomes the
+        insert's TTL: ``no-store``/``no-cache``/``max-age=0`` keep the
+        bytes out of the cache; ``max-age=N`` bounds their freshness.
         """
         cache = self._pagecache
         if cache is None:
             return
+        ttl = _cache_ttl(response) if response is not None else None
         for offset, data, total in pieces:
-            cache.insert(self._cache_key, etag, offset, data, total=total)
+            cache.insert(
+                self._cache_key, etag, offset, data, total=total, ttl=ttl
+            )
 
     def _cache_probe(self, offset: int, length: int):
         """Accounting cache lookup, timed as the ``cache-lookup`` phase."""
@@ -403,7 +436,9 @@ class DavFile:
                 total = _content_range_total(response)
                 if total is not None:
                     self._cache_insert(
-                        response.headers.get("ETag"), [(0, b"", total)]
+                        response.headers.get("ETag"),
+                        [(0, b"", total)],
+                        response=response,
                     )
                 continue
             raise_for_status(response, self.url.path)
@@ -426,6 +461,7 @@ class DavFile:
                     self._cache_insert(
                         etag,
                         [(p.offset, p.data, p.total) for p in parts],
+                        response=response,
                     )
                 else:
                     content_range = response.headers.get("Content-Range")
@@ -437,12 +473,16 @@ class DavFile:
                     if part_total is not None:
                         total = part_total
                     self._cache_insert(
-                        etag, [(offset, response.body, part_total)]
+                        etag,
+                        [(offset, response.body, part_total)],
+                        response=response,
                     )
             else:
                 # 200: no range support — the whole object came back.
                 total = len(response.body)
-                self._cache_insert(etag, [(0, response.body, total)])
+                self._cache_insert(
+                    etag, [(0, response.body, total)], response=response
+                )
         return etag, total
 
     def _pread_demand(self, offset: int, length: int):
@@ -460,7 +500,9 @@ class DavFile:
             total = _content_range_total(response)
             if total is not None:
                 self._cache_insert(
-                    response.headers.get("ETag"), [(0, b"", total)]
+                    response.headers.get("ETag"),
+                    [(0, b"", total)],
+                    response=response,
                 )
             return b""  # read past EOF: POSIX-style short read
         raise_for_status(response, self.url.path)
@@ -476,12 +518,14 @@ class DavFile:
                 self._cache_insert(
                     response.headers.get("ETag"),
                     [(body_offset, response.body, total)],
+                    response=response,
                 )
             return response.body
         # Server ignored the Range header: slice the full body.
         self._cache_insert(
             response.headers.get("ETag"),
             [(0, response.body, len(response.body))],
+            response=response,
         )
         return response.body[offset : offset + length]
 
@@ -520,8 +564,10 @@ class DavFile:
                 for (index, _), piece in zip(kept, pieces):
                     results[index] = piece
             return results
-        transfer = self.params.effective_transfer(warn=True)
-        if self._pagecache is not None:
+        transfer = self.params.effective_transfer()
+        if self._pagecache is not None and not self._pagecache.suppressed(
+            self._cache_key
+        ):
             results = yield from self._pread_vec_cached(reads, transfer)
             return results
         if self._engine is not None:
@@ -803,6 +849,7 @@ class DavFile:
                 self._cache_insert(
                     response.headers.get("ETag"),
                     [(part.offset, part.data, part.total) for part in parts],
+                    response=response,
                 )
                 totals = [
                     part.total for part in parts if part.total is not None
@@ -818,6 +865,7 @@ class DavFile:
             self._cache_insert(
                 response.headers.get("ETag"),
                 [(offset, response.body, total)],
+                response=response,
             )
             return PartTable.from_parts(
                 [(offset, response.body)], total=total
@@ -827,6 +875,7 @@ class DavFile:
         self._cache_insert(
             response.headers.get("ETag"),
             [(0, response.body, len(response.body))],
+            response=response,
         )
         return PartTable.from_parts(
             [(0, response.body)], total=len(response.body)

@@ -20,6 +20,12 @@ Pages are fixed-size (``page_size``); the only shorter page ever
 stored is the object's tail, and only once the total size is known
 (from a ``Content-Range`` total or a full-body response), so a cached
 page always means "these bytes are the whole truth for this span".
+
+The cache honours origin freshness: ``insert(..., ttl=...)`` carries
+the response's ``Cache-Control`` verdict (``no-store``/``max-age=0``
+-> never stored; ``max-age=N`` -> the object's pages expire N seconds
+later on the cache's ``clock``). A response without a freshness
+directive neither arms nor extends an expiry.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ Span = Tuple[int, int]
 class _Entry:
     """Cached state of one remote object (one ETag version)."""
 
-    __slots__ = ("etag", "size", "pages")
+    __slots__ = ("etag", "size", "pages", "expires_at")
 
     def __init__(self, etag: Optional[str] = None):
         self.etag = etag
@@ -49,6 +55,9 @@ class _Entry:
         self.size: Optional[int] = None
         #: page index -> page bytes (full ``page_size`` except the tail).
         self.pages: Dict[int, bytes] = {}
+        #: Clock reading after which the pages are stale (origin
+        #: ``max-age``); ``None`` = no freshness bound.
+        self.expires_at: Optional[float] = None
 
 
 class PageCache:
@@ -68,6 +77,7 @@ class PageCache:
         budget_bytes: int,
         page_size: int = DEFAULT_PAGE_SIZE,
         metrics=None,
+        clock=None,
     ):
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
@@ -76,8 +86,15 @@ class PageCache:
         self.budget_bytes = budget_bytes
         self.page_size = page_size
         self.metrics = metrics
+        #: Freshness clock (seconds); TTLs are measured against it. The
+        #: default never advances, so without a clock nothing expires.
+        self.clock = clock or (lambda: 0.0)
         self._lock = threading.Lock()
         self._entries: Dict[str, _Entry] = {}
+        #: Objects whose origin said no-store/max-age=0. Remembered so
+        #: the read path can skip the probe/gap-fill dance entirely;
+        #: cleared the moment a response allows caching again.
+        self._no_store: set = set()
         #: (key, page index) -> page byte count, in LRU order.
         self._lru: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
         self._used = 0
@@ -90,6 +107,7 @@ class PageCache:
             "evicted_bytes": 0,
             "invalidations": 0,
             "origin_bytes_saved": 0,
+            "ttl_expirations": 0,
         }
 
     # -- metric plumbing ------------------------------------------------------
@@ -116,15 +134,22 @@ class PageCache:
         with self._lock:
             return sum(1 for e in self._entries.values() if e.pages)
 
+    def suppressed(self, key: str) -> bool:
+        """Did the origin forbid caching ``key`` (no-store/max-age=0)?"""
+        with self._lock:
+            return key in self._no_store
+
     def etag(self, key: str) -> Optional[str]:
         """The ETag the cached pages of ``key`` belong to."""
         with self._lock:
+            self._expire_locked(key)
             entry = self._entries.get(key)
             return entry.etag if entry is not None else None
 
     def known_size(self, key: str) -> Optional[int]:
         """The object's total size, if a response has revealed it."""
         with self._lock:
+            self._expire_locked(key)
             entry = self._entries.get(key)
             return entry.size if entry is not None else None
 
@@ -175,6 +200,19 @@ class PageCache:
             self._used -= len(page)
         entry.pages.clear()
 
+    def _expire_locked(self, key: str) -> None:
+        """Drop ``key`` entirely once its origin TTL has passed."""
+        entry = self._entries.get(key)
+        if entry is None or entry.expires_at is None:
+            return
+        if self.clock() < entry.expires_at:
+            return
+        self._drop_locked(key, entry)
+        del self._entries[key]
+        self.stats["ttl_expirations"] += 1
+        self._count("ttl_expirations")
+        self._mirror_gauges()
+
     # -- read side ------------------------------------------------------------
 
     def _clamp(self, entry: _Entry, offset: int, length: int) -> Span:
@@ -199,6 +237,7 @@ class PageCache:
         tail answers over-long reads too. No hit/miss accounting.
         """
         with self._lock:
+            self._expire_locked(key)
             return self._read_locked(key, offset, length)
 
     def _read_locked(
@@ -244,6 +283,7 @@ class PageCache:
                 raise ValueError("negative offset/length")
             if length == 0:
                 return []
+            self._expire_locked(key)
             entry = self._entries.get(key)
             size = entry.size if entry is not None else None
             end = offset + length
@@ -321,6 +361,7 @@ class PageCache:
         offset: int,
         data,
         total: Optional[int] = None,
+        ttl: Optional[float] = None,
     ) -> None:
         """Cache the pages fully covered by ``data`` at ``offset``.
 
@@ -330,10 +371,26 @@ class PageCache:
         body) — required before the tail page can be stored. A
         mismatching ``etag`` first invalidates the stale pages
         (:meth:`observe`), then stores under the new version.
+
+        ``ttl`` is the origin's freshness verdict for this response:
+        ``None`` = no directive (cache, no expiry change); ``<= 0`` =
+        never store (``no-store``/``max-age=0``); ``> 0`` = store and
+        expire that many clock-seconds from now.
         """
         with self._lock:
             if self.budget_bytes <= 0:
                 return
+            if ttl is not None and ttl <= 0:
+                # The origin forbids caching this object: drop what we
+                # hold and remember the verdict for the read path.
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._drop_locked(key, entry)
+                    self._mirror_gauges()
+                self._no_store.add(key)
+                return
+            self._no_store.discard(key)
+            self._expire_locked(key)
             self._observe_locked(key, etag)
             entry = self._entries[key]
             if total is not None:
@@ -362,6 +419,8 @@ class PageCache:
                 self._lru[(key, index)] = want
                 self._used += want
                 self.stats["insertions"] += 1
+            if ttl is not None:
+                entry.expires_at = self.clock() + ttl
             self._evict_locked()
             self._mirror_gauges()
 

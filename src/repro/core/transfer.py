@@ -1,11 +1,8 @@
 """TransferConfig: the unified I/O-engine tuning bundle.
 
-Historically the client's parallelism knobs were scattered across the
-API surface: ``RequestParams.vector_max_inflight``,
-``pread_vec(max_inflight=)`` and the ``davix-tool
---parallel/--max-inflight`` flags each steered a different corner of
-the same machinery. :class:`TransferConfig` replaces all of them with
-one frozen bundle carried on
+:class:`TransferConfig` is the single home for the client's
+parallelism tuning (the scattered per-call knobs of earlier releases
+are gone): one frozen bundle carried on
 :class:`~repro.core.context.RequestParams` (``transfer=``): how many
 requests a file operation may keep in flight, whether the pipelined
 read-ahead engine (:mod:`repro.core.engine`) is armed, and the bounds

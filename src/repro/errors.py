@@ -214,5 +214,14 @@ class RootIOError(ReproError):
     """Corrupt or inconsistent tree-file content."""
 
 
+class PageChecksumError(RootIOError):
+    """A columnar page failed its stored adler32 checksum on decode.
+
+    Raised before decompression is attempted, so damaged bytes are
+    never silently handed to an analysis — corruption always surfaces
+    as this typed error.
+    """
+
+
 class MetalinkError(ReproError):
     """Malformed Metalink document."""

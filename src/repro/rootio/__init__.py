@@ -1,12 +1,36 @@
-"""ROOT-like columnar event I/O: tree files, TTreeCache, generators."""
+"""ROOT-like columnar event I/O: tree files, TTreeCache, generators.
 
+Two on-disk formats share one fetcher protocol and one read surface:
+
+* **v1 baskets** (:mod:`repro.rootio.treefile`) — branch-major basket
+  blobs behind a JSON index, read through
+  :class:`TreeFileReader`/:class:`TTreeCache`;
+* **v2 pages/clusters** (:mod:`repro.rootio.ntuple`) — RNTuple-style
+  cluster-major pages with per-page adler32 checksums and a separable
+  footer, read through :class:`NTupleReader`/:class:`ClusterScan`
+  with parallel per-cluster decode lanes.
+"""
+
+from repro.rootio.clusterscan import ClusterScan
 from repro.rootio.fetchers import DavixFetcher, XrootdFetcher
 from repro.rootio.generator import (
     BranchSpec,
     DatasetSpec,
+    generate_ntuple_bytes,
+    generate_ntuple_layout,
     generate_tree_bytes,
     generate_tree_layout,
     paper_dataset,
+)
+from repro.rootio.ntuple import (
+    ClusterInfo,
+    ColumnMeta,
+    NTupleMeta,
+    NTupleReader,
+    PageInfo,
+    decode_page,
+    ntuple_meta_from_json,
+    write_ntuple_file,
 )
 from repro.rootio.tree import BasketInfo, BranchMeta, TreeMeta
 from repro.rootio.treecache import TTreeCache
@@ -24,6 +48,8 @@ __all__ = [
     "DatasetSpec",
     "generate_tree_bytes",
     "generate_tree_layout",
+    "generate_ntuple_bytes",
+    "generate_ntuple_layout",
     "paper_dataset",
     "BasketInfo",
     "BranchMeta",
@@ -34,4 +60,13 @@ __all__ = [
     "write_tree_file",
     "compress_basket",
     "decompress_basket",
+    "PageInfo",
+    "ColumnMeta",
+    "ClusterInfo",
+    "NTupleMeta",
+    "NTupleReader",
+    "ClusterScan",
+    "write_ntuple_file",
+    "ntuple_meta_from_json",
+    "decode_page",
 ]

@@ -1,0 +1,223 @@
+"""ClusterScan: parallel per-cluster decode lanes for the v2 format.
+
+The v1 :class:`~repro.rootio.treecache.TTreeCache` refills one entry
+window at a time: fetch, decompress, serve, repeat — fetch latency and
+decode CPU strictly alternate. The v2 layout makes clusters
+independently decodable, so this cache refills ``lanes`` clusters at
+once over :func:`~repro.concurrency.bounded_gather`: each lane fetches
+its cluster's page spans (one coalesced multi-range request through
+whatever fetcher is plugged in — page cache, transfer engine and
+retries compose underneath), adler32-verifies every page, decodes, and
+charges its decompression CPU concurrently with the other lanes'
+network waits. On a 300 ms WAN path that overlap is most of the win.
+
+Exposes the same ``read_entry`` surface as TTreeCache, so the analysis
+event loop is format-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.concurrency import Sleep, bounded_gather
+from repro.errors import PageChecksumError, RootIOError
+from repro.rootio.ntuple import NTupleReader, decode_page
+
+__all__ = ["ClusterScan"]
+
+
+class ClusterScan:
+    """Cluster-granular read cache with parallel decode lanes."""
+
+    def __init__(
+        self,
+        reader: NTupleReader,
+        branch_names: Sequence[str] = (),
+        lanes: int = 2,
+        decode: bool = True,
+        decompress_bandwidth: Optional[float] = None,
+        metrics=None,
+        clock=None,
+    ):
+        if reader.meta is None:
+            raise RootIOError("reader must be open()ed before scanning")
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.reader = reader
+        self.meta = reader.meta
+        self.branch_names = list(branch_names) or self.meta.column_names
+        self.columns = [
+            self.meta.column(name) for name in self.branch_names
+        ]
+        self.lanes = lanes
+        #: Decode page payloads (off for layout-only timing runs
+        #: against synthetic content that is not real page data).
+        self.decode = decode
+        #: When set, every cluster job sleeps uncompressed/bandwidth —
+        #: the per-lane decompression CPU model (bytes/second).
+        self.decompress_bandwidth = decompress_bandwidth
+        self.metrics = metrics
+        self.clock = clock
+        self._stop = self.meta.n_entries
+        self._window: Tuple[int, int] = (0, 0)
+        #: (column name, cluster index) -> decoded cluster column bytes
+        #: (None with decode off).
+        self._buffers: Dict[Tuple[str, int], Optional[bytes]] = {}
+        self.stats = {
+            "refills": 0,
+            "vector_reads": 0,
+            "single_reads": 0,
+            "bytes_fetched": 0,
+            "bytes_decompressed": 0,
+            "clusters_decoded": 0,
+            "pages_fetched": 0,
+            "checksum_failures": 0,
+        }
+
+    # -- metric plumbing ----------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(f"ntuple.{name}").inc(amount)
+
+    # -- public -------------------------------------------------------------
+
+    def plan(self, events: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Page spans in consumption order (cluster by cluster).
+
+        ``events`` clamps the scan: refills never load clusters past
+        it, and the returned spans — ready for ``fetcher.plan`` — stop
+        there too.
+        """
+        self._stop = (
+            self.meta.n_entries if events is None
+            else max(1, min(int(events), self.meta.n_entries))
+        )
+        spans: List[Tuple[int, int]] = []
+        for cluster in self.meta.cluster_list:
+            lo = cluster.first_entry
+            hi = min(cluster.end_entry, self._stop)
+            if lo >= hi:
+                break
+            spans.extend(
+                sorted(
+                    {
+                        page.span
+                        for column in self.columns
+                        for page in column.pages_for_entries(lo, hi)
+                    }
+                )
+            )
+        return spans
+
+    def read_entry(self, entry: int):
+        """Effect sub-op: {column: record bytes} for one entry.
+
+        Record bytes are ``None`` when ``decode`` is off.
+        """
+        if not 0 <= entry < self.meta.n_entries:
+            raise RootIOError(f"entry {entry} out of range")
+        if not self._window[0] <= entry < self._window[1]:
+            yield from self._refill(entry)
+        out = {}
+        for column in self.columns:
+            index = self.meta.cluster_for_entry(entry)
+            buffer = self._buffers[(column.name, index)]
+            if buffer is None:
+                out[column.name] = None
+            else:
+                base = entry - self.meta.cluster_list[index].first_entry
+                out[column.name] = buffer[
+                    base * column.event_size
+                    : (base + 1) * column.event_size
+                ]
+        return out
+
+    # -- refill machinery ---------------------------------------------------
+
+    def _refill(self, entry: int):
+        """Load the next ``lanes`` clusters concurrently."""
+        first = self.meta.cluster_for_entry(entry)
+        batch = []
+        for index in range(
+            first, min(first + self.lanes, len(self.meta.cluster_list))
+        ):
+            cluster = self.meta.cluster_list[index]
+            if cluster.first_entry >= self._stop and index > first:
+                break
+            batch.append(index)
+        started = self.clock() if self.clock is not None else None
+        jobs = [self._cluster_job(index) for index in batch]
+        outcomes = yield from bounded_gather(
+            jobs, limit=self.lanes, name="ntuple-lane"
+        )
+        self._buffers.clear()
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+            index, decoded = outcome.value
+            for name, buffer in decoded.items():
+                self._buffers[(name, index)] = buffer
+        lo = self.meta.cluster_list[batch[0]].first_entry
+        hi = self.meta.cluster_list[batch[-1]].end_entry
+        self._window = (lo, hi)
+        self.stats["refills"] += 1
+        if started is not None and self.metrics is not None:
+            self.metrics.histogram(
+                "request.phase_seconds", phase="ntuple-decode"
+            ).observe(self.clock() - started)
+
+    def _cluster_job(self, index: int):
+        """One lane: fetch, verify, decode, charge CPU for one cluster."""
+        cluster = self.meta.cluster_list[index]
+        lo = cluster.first_entry
+        hi = min(cluster.end_entry, max(self._stop, lo + 1))
+
+        def job():
+            wanted = [
+                (column, column.pages_for_entries(lo, hi))
+                for column in self.columns
+            ]
+            spans = sorted(
+                {page.span for _, pages in wanted for page in pages}
+            )
+            blobs = yield from self.reader.fetcher.fetch_vec(spans)
+            blob_by_span = dict(zip(spans, blobs))
+            self.stats["vector_reads"] += 1
+            self.stats["pages_fetched"] += len(spans)
+            fetched = sum(len(blob) for blob in blobs)
+            self.stats["bytes_fetched"] += fetched
+            self._count("pages_fetched_total", len(spans))
+            self._count("bytes_fetched_total", fetched)
+
+            decoded: Dict[str, Optional[bytes]] = {}
+            uncompressed = 0
+            for column, pages in wanted:
+                uncompressed += sum(page.uncompressed for page in pages)
+                if not self.decode:
+                    decoded[column.name] = None
+                    continue
+                parts = []
+                for page in pages:
+                    try:
+                        raw = decode_page(blob_by_span[page.span], page)
+                    except PageChecksumError:
+                        self.stats["checksum_failures"] += 1
+                        self._count("checksum_failures_total")
+                        raise
+                    a = max(lo, page.first_entry) - page.first_entry
+                    b = min(hi, page.end_entry) - page.first_entry
+                    parts.append(
+                        raw[a * column.event_size : b * column.event_size]
+                    )
+                decoded[column.name] = b"".join(parts)
+            self.stats["bytes_decompressed"] += uncompressed
+            self.stats["clusters_decoded"] += 1
+            self._count("clusters_decoded_total")
+            if self.decompress_bandwidth:
+                cost = uncompressed / self.decompress_bandwidth
+                if cost > 0:
+                    yield Sleep(cost)
+            return index, decoded
+
+        return job

@@ -22,6 +22,16 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.rootio.ntuple import (
+    DEFAULT_CLUSTER_ENTRIES,
+    DEFAULT_PAGE_BYTES,
+    ClusterInfo,
+    ColumnMeta,
+    NTupleMeta,
+    PageInfo,
+    write_ntuple_file,
+)
+from repro.rootio.ntuple import HEADER as NTUPLE_HEADER
 from repro.rootio.tree import BasketInfo, BranchMeta, TreeMeta
 from repro.rootio.treefile import HEADER, write_tree_file
 from repro.rootio.zipfmt import basket_overhead
@@ -32,6 +42,8 @@ __all__ = [
     "paper_dataset",
     "generate_tree_bytes",
     "generate_tree_layout",
+    "generate_ntuple_bytes",
+    "generate_ntuple_layout",
 ]
 
 
@@ -147,6 +159,96 @@ def generate_tree_bytes(spec: DatasetSpec) -> bytes:
         n_entries=spec.n_entries,
         basket_entries=spec.basket_entries,
     )
+
+
+def generate_ntuple_bytes(
+    spec: DatasetSpec,
+    cluster_entries: int = DEFAULT_CLUSTER_ENTRIES,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    compression=1,
+) -> bytes:
+    """Materialise the dataset as a real v2 ntuple file (bytes).
+
+    Uses the same seeded payloads as :func:`generate_tree_bytes`, so
+    the decoded columns of both formats are byte-identical — the
+    invariant the format-equivalence tests assert.
+    """
+    rng = np.random.default_rng(spec.seed)
+    arrays: Dict[str, bytes] = {
+        branch.name: _branch_payload(branch, spec.n_entries, rng)
+        for branch in spec.branches
+    }
+    return write_ntuple_file(
+        spec.name,
+        arrays,
+        n_entries=spec.n_entries,
+        cluster_entries=cluster_entries,
+        page_bytes=page_bytes,
+        compression=compression,
+    )
+
+
+def generate_ntuple_layout(
+    spec: DatasetSpec,
+    cluster_entries: int = DEFAULT_CLUSTER_ENTRIES,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+) -> NTupleMeta:
+    """Build only the v2 metadata a materialised file would have.
+
+    Cluster-major page layout with the same +-10 % compressed-size
+    jitter model as :func:`generate_tree_layout`; checksums are zero
+    (layout-only runs never decode).
+    """
+    rng = random.Random(spec.seed)
+    cursor = NTUPLE_HEADER.size
+    overhead = basket_overhead()
+    columns = {
+        branch_spec.name: ColumnMeta(
+            name=branch_spec.name, event_size=branch_spec.event_size
+        )
+        for branch_spec in spec.branches
+    }
+    clusters: List[ClusterInfo] = []
+    for first in range(0, spec.n_entries, cluster_entries):
+        count = min(cluster_entries, spec.n_entries - first)
+        clusters.append(ClusterInfo(first_entry=first, n_entries=count))
+        for branch_spec in spec.branches:
+            column = columns[branch_spec.name]
+            page_entries = max(1, page_bytes // branch_spec.event_size)
+            for page_first in range(first, first + count, page_entries):
+                page_count = min(
+                    page_entries, first + count - page_first
+                )
+                uncompressed = page_count * branch_spec.event_size
+                jitter = rng.uniform(0.9, 1.1)
+                nbytes = overhead + max(
+                    8,
+                    int(
+                        uncompressed
+                        * branch_spec.compress_ratio
+                        * jitter
+                    ),
+                )
+                column.pages.append(
+                    PageInfo(
+                        offset=cursor,
+                        nbytes=nbytes,
+                        first_entry=page_first,
+                        n_entries=page_count,
+                        uncompressed=uncompressed,
+                        checksum=0,
+                    )
+                )
+                cursor += nbytes
+    meta = NTupleMeta(
+        name=spec.name,
+        n_entries=spec.n_entries,
+        cluster_list=clusters,
+        columns=[columns[b.name] for b in spec.branches],
+        file_size=cursor,
+    )
+    meta.validate()
+    return meta
 
 
 def generate_tree_layout(spec: DatasetSpec) -> TreeMeta:

@@ -1,9 +1,14 @@
-"""Basket compression codec (ROOT-style framed zlib).
+"""Basket/page compression codec (ROOT-style framed zlib).
 
 ROOT stores each basket as a small header plus a zlib payload; we mirror
 that: ``b"ZL" | method u8 | uncompressed u32 | compressed u32 | data``.
 The header makes truncation and corruption detectable, which the
 failure-injection tests rely on.
+
+Two methods are spoken: ``METHOD_ZLIB`` (levels 1-9) and
+``METHOD_STORE`` (level 0 — the payload verbatim, for data that does
+not compress). The v2 page/cluster format reuses this frame per page,
+so per-column compression is just a per-column level.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from repro.errors import RootIOError
 __all__ = ["compress_basket", "decompress_basket", "basket_overhead"]
 
 MAGIC = b"ZL"
+METHOD_STORE = 0
 METHOD_ZLIB = 1
 HEADER = struct.Struct(">2sBII")
 
@@ -27,8 +33,13 @@ def basket_overhead() -> int:
 def compress_basket(data: bytes, level: int = 1) -> bytes:
     """Frame and compress one basket payload.
 
-    Level 1 mirrors ROOT's default fast setting.
+    Level 1 mirrors ROOT's default fast setting; level 0 stores the
+    payload verbatim (no zlib stream at all).
     """
+    if not 0 <= level <= 9:
+        raise ValueError(f"compression level {level} not in 0..9")
+    if level == 0:
+        return HEADER.pack(MAGIC, METHOD_STORE, len(data), len(data)) + data
     packed = zlib.compress(data, level)
     return HEADER.pack(MAGIC, METHOD_ZLIB, len(data), len(packed)) + packed
 
@@ -40,7 +51,7 @@ def decompress_basket(blob: bytes) -> bytes:
     magic, method, uncompressed, compressed = HEADER.unpack_from(blob)
     if magic != MAGIC:
         raise RootIOError(f"bad basket magic {magic!r}")
-    if method != METHOD_ZLIB:
+    if method not in (METHOD_STORE, METHOD_ZLIB):
         raise RootIOError(f"unknown compression method {method}")
     payload = blob[HEADER.size : HEADER.size + compressed]
     if len(payload) != compressed:
@@ -48,6 +59,13 @@ def decompress_basket(blob: bytes) -> bytes:
             f"truncated basket: have {len(payload)}, "
             f"header says {compressed}"
         )
+    if method == METHOD_STORE:
+        if compressed != uncompressed:
+            raise RootIOError(
+                f"stored basket length mismatch: payload {compressed}, "
+                f"header says {uncompressed}"
+            )
+        return bytes(payload)
     try:
         data = zlib.decompress(payload)
     except zlib.error as exc:

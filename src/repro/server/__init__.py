@@ -4,6 +4,7 @@ from repro.server.app import HttpServer, handle_connection, serve_forever
 from repro.server.faults import FaultAction, FaultPolicy
 from repro.server.accesslog import AccessEntry, AccessLog
 from repro.server.federation import FederationApp, ReplicaEntry
+from repro.server.flatobject import FlatObjectApp
 from repro.server.handlers import ServedResponse, ServerConfig, StorageApp
 from repro.server.objectstore import (
     BytesContent,
@@ -26,6 +27,7 @@ __all__ = [
     "FaultAction",
     "FaultPolicy",
     "FederationApp",
+    "FlatObjectApp",
     "AccessEntry",
     "AccessLog",
     "ReplicaEntry",

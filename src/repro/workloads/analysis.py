@@ -36,7 +36,9 @@ from typing import Optional, Tuple
 from repro.concurrency import Now, Sleep
 from repro.core.context import Context, RequestParams, TransferConfig
 from repro.net.tcp import TcpOptions
+from repro.rootio.clusterscan import ClusterScan
 from repro.rootio.fetchers import DavixFetcher, XrootdFetcher
+from repro.rootio.ntuple import NTupleReader
 from repro.rootio.tree import TreeMeta
 from repro.rootio.treecache import TTreeCache
 from repro.rootio.treefile import TreeFileReader
@@ -88,6 +90,13 @@ class AnalysisConfig:
     davix_readahead: Optional[int] = None
     #: Concurrent in-flight requests for davix's engine paths.
     davix_max_inflight: int = 4
+    #: On-disk format: "basket" (v1 TTreeCache) or "ntuple"
+    #: (v2 ClusterScan with parallel decode lanes).
+    format: str = "basket"
+    #: Branch/column selection; empty = read every branch.
+    columns: Tuple[str, ...] = ()
+    #: Parallel per-cluster decode lanes (v2 only; 1 = serial).
+    decode_lanes: int = 2
 
     def __post_init__(self):
         if not 0.0 < self.fraction <= 1.0:
@@ -96,6 +105,10 @@ class AnalysisConfig:
             raise ValueError("CPU costs must be >= 0")
         if self.decompress_bandwidth <= 0:
             raise ValueError("decompress_bandwidth must be > 0")
+        if self.format not in ("basket", "ntuple"):
+            raise ValueError(f"unknown format {self.format!r}")
+        if self.decode_lanes < 1:
+            raise ValueError("decode_lanes must be >= 1")
 
     def with_(self, **changes) -> "AnalysisConfig":
         return replace(self, **changes)
@@ -121,15 +134,67 @@ class AnalysisReport:
         return self.events_read / self.wall_seconds
 
 
-def _consumption_plan(meta: TreeMeta, events: int, cluster: int):
+def _consumption_plan(
+    meta: TreeMeta, events: int, cluster: int, branch_names=()
+):
     """The access sequence in *consumption* order: cluster by cluster,
     not global file order (branches are laid out sequentially)."""
     plan = []
     for start, stop in meta.clusters(cluster):
         if start >= events:
             break
-        plan.extend(meta.segments_for_entries(start, min(stop, events)))
+        plan.extend(
+            meta.segments_for_entries(
+                start, min(stop, events), branch_names
+            )
+        )
     return plan
+
+
+def _open_cache(fetcher, cfg: AnalysisConfig, meta, metrics=None, clock=None):
+    """Effect sub-op: the format's reader + cache -> (cache, events, spans).
+
+    ``spans`` is the consumption-order read-ahead plan, ready for
+    ``fetcher.plan`` when a client-level read-ahead window is armed.
+    Both caches expose the same ``read_entry`` surface, so the caller's
+    event loop never sees which format it is scanning.
+    """
+    if cfg.format == "ntuple":
+        reader = NTupleReader(fetcher)
+        if meta is None:
+            meta = yield from reader.open()
+        else:
+            reader.meta = meta
+        events = max(1, int(meta.n_entries * cfg.fraction))
+        cache = ClusterScan(
+            reader,
+            branch_names=cfg.columns,
+            lanes=cfg.decode_lanes,
+            decode=cfg.decode,
+            decompress_bandwidth=cfg.decompress_bandwidth,
+            metrics=metrics,
+            clock=clock,
+        )
+        spans = cache.plan(events)
+    else:
+        reader = TreeFileReader(fetcher)
+        if meta is None:
+            meta = yield from reader.open()
+        else:
+            reader.meta = meta
+        events = max(1, int(meta.n_entries * cfg.fraction))
+        cache = TTreeCache(
+            reader,
+            branch_names=cfg.columns,
+            entries_per_cluster=cfg.entries_per_cluster,
+            learn_entries=cfg.learn_entries,
+            decode=cfg.decode,
+            decompress_bandwidth=cfg.decompress_bandwidth,
+        )
+        spans = _consumption_plan(
+            meta, events, cfg.entries_per_cluster, cfg.columns
+        )
+    return cache, events, spans
 
 
 def _run_job(cache: TTreeCache, events: int, cfg: AnalysisConfig):
@@ -165,23 +230,11 @@ def davix_analysis(
             )
         )
     fetcher = DavixFetcher(context, url, params)
-    reader = TreeFileReader(fetcher)
-    if meta is None:
-        meta = yield from reader.open()
-    else:
-        reader.meta = meta
-    events = max(1, int(meta.n_entries * cfg.fraction))
-    if cfg.davix_readahead:
-        fetcher.plan(
-            _consumption_plan(meta, events, cfg.entries_per_cluster)
-        )
-    cache = TTreeCache(
-        reader,
-        entries_per_cluster=cfg.entries_per_cluster,
-        learn_entries=cfg.learn_entries,
-        decode=cfg.decode,
-        decompress_bandwidth=cfg.decompress_bandwidth,
+    cache, events, spans = yield from _open_cache(
+        fetcher, cfg, meta, metrics=context.metrics, clock=context._now
     )
+    if cfg.davix_readahead:
+        fetcher.plan(spans)
     wall = yield from _run_job(cache, events, cfg)
     yield from fetcher.drain()
     return AnalysisReport(
@@ -211,23 +264,9 @@ def xrootd_analysis(
         window_bytes=cfg.xrootd_readahead,
         request_overhead=cfg.xrootd_request_overhead,
     )
-    reader = TreeFileReader(fetcher)
-    if meta is None:
-        meta = yield from reader.open()
-    else:
-        reader.meta = meta
-    events = max(1, int(meta.n_entries * cfg.fraction))
+    cache, events, spans = yield from _open_cache(fetcher, cfg, meta)
     if cfg.xrootd_readahead:
-        fetcher.plan(
-            _consumption_plan(meta, events, cfg.entries_per_cluster)
-        )
-    cache = TTreeCache(
-        reader,
-        entries_per_cluster=cfg.entries_per_cluster,
-        learn_entries=cfg.learn_entries,
-        decode=cfg.decode,
-        decompress_bandwidth=cfg.decompress_bandwidth,
-    )
+        fetcher.plan(spans)
     wall = yield from _run_job(cache, events, cfg)
     yield from client.close_file(file)
     yield from client.disconnect()

@@ -18,11 +18,13 @@ from repro.server.faults import FaultPolicy
 from repro.net.profiles import NetProfile, build_network
 from repro.rootio.generator import (
     DatasetSpec,
+    generate_ntuple_bytes,
+    generate_ntuple_layout,
     generate_tree_bytes,
     generate_tree_layout,
 )
-from repro.rootio.tree import TreeMeta
 from repro.server import (
+    FlatObjectApp,
     HttpServer,
     ObjectStore,
     StorageApp,
@@ -57,10 +59,17 @@ class Scenario:
     faults: Optional[FaultPolicy] = None
     #: Request params for the davix client (retry policy, deadline, …).
     params: Optional[RequestParams] = None
+    #: Server dialect: "webdav" (full DPM-style StorageApp) or
+    #: "object" (flat S3-like key store); davix only.
+    backend: str = "webdav"
 
     def __post_init__(self):
         if self.protocol not in ("davix", "xrootd"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.backend not in ("webdav", "object"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend == "object" and self.protocol != "davix":
+            raise ValueError("the object backend speaks HTTP (davix) only")
 
 
 def run_scenario(
@@ -79,22 +88,31 @@ def run_scenario(
     server_rt = SimRuntime(net, "server")
 
     store = ObjectStore(clock=server_rt.now)
-    meta: Optional[TreeMeta]
+    ntuple = scenario.config.format == "ntuple"
     if scenario.materialize:
-        blob = generate_tree_bytes(scenario.spec)
+        blob = (
+            generate_ntuple_bytes(scenario.spec)
+            if ntuple
+            else generate_tree_bytes(scenario.spec)
+        )
         store.put(TREE_PATH, blob)
-        meta = None  # the client parses the real index
+        meta = None  # the client parses the real index/footer
     else:
-        layout = generate_tree_layout(scenario.spec)
+        layout = (
+            generate_ntuple_layout(scenario.spec)
+            if ntuple
+            else generate_tree_layout(scenario.spec)
+        )
         store.put(TREE_PATH, ZeroContent(layout.file_size))
         meta = layout
 
     if scenario.protocol == "davix":
-        HttpServer(
-            server_rt,
-            StorageApp(store, faults=scenario.faults),
-            port=80,
-        ).start()
+        app = (
+            FlatObjectApp(store, faults=scenario.faults)
+            if scenario.backend == "object"
+            else StorageApp(store, faults=scenario.faults)
+        )
+        HttpServer(server_rt, app, port=80).start()
         if context is None:
             context = Context(params=scenario.params)
         context.clock = client_rt.now

@@ -1,0 +1,175 @@
+"""Tests for ObjectStoreClient: davix against a flat-object endpoint.
+
+The portability claim end-to-end: the unchanged davix stack (ranged
+GETs, vectored reads, page cache) against :class:`FlatObjectApp`, plus
+the adapter's own surface — key addressing, the JSON listing endpoint,
+and the fetcher bridge into the v2 columnar reader.
+"""
+
+import pytest
+
+from repro.core import Context, DavixClient, RequestParams, TransferConfig
+from repro.core.objectclient import ObjectStoreClient
+from repro.errors import FileNotFound, HttpParseError
+from repro.http import Url
+from repro.rootio import NTupleReader, write_ntuple_file
+from repro.server import FlatObjectApp, HttpServer, ObjectStore
+
+from tests.helpers import sim_world
+
+BODY = bytes((i * 17 + 3) % 256 for i in range(50_000))
+
+
+def object_world(latency=0.001, params=None):
+    """(runtime, ObjectStoreClient, app, store) over a FlatObjectApp."""
+    client_rt, server_rt = sim_world(latency=latency)
+    store = ObjectStore(clock=server_rt.now)
+    app = FlatObjectApp(store)
+    HttpServer(server_rt, app, port=80).start()
+    context = Context(params=params)
+    context.clock = client_rt.now
+    client = ObjectStoreClient(context, "http://server/")
+    return client_rt, client, app, store
+
+
+def test_url_for_joins_prefix_and_key():
+    context = Context()
+    client = ObjectStoreClient(context, "http://server/bucket")
+    assert str(client.url_for("a/b.root")) == "http://server/bucket/a/b.root"
+    assert str(client.url_for("/lead/slash")) == (
+        "http://server/bucket/lead/slash"
+    )
+    bare = ObjectStoreClient(context, Url.parse("http://server/"))
+    assert str(bare.url_for("k")) == "http://server/k"
+
+
+def test_put_head_get_delete_cycle():
+    runtime, client, app, store = object_world()
+    assert runtime.run(client.put_object("data/x", BODY)) == 201
+    stat = runtime.run(client.head("data/x"))
+    assert stat.size == len(BODY)
+    assert runtime.run(client.get_object("data/x")) == BODY
+    assert runtime.run(client.exists("data/x"))
+    runtime.run(client.delete_object("data/x"))
+    assert not runtime.run(client.exists("data/x"))
+
+
+def test_read_range_and_vectored():
+    runtime, client, app, store = object_world()
+    store.put("/blob", BODY)
+    assert runtime.run(client.read_range("blob", 100, 50)) == BODY[100:150]
+    reads = [(0, 10), (1000, 20), (40_000, 30)]
+    chunks = runtime.run(client.read_vec("blob", reads))
+    assert chunks == [BODY[o : o + n] for o, n in reads]
+    # The vector went out as one multi-range request.
+    assert app.requests_handled == 2
+
+
+def test_list_keys_with_and_without_prefix():
+    runtime, client, app, store = object_world()
+    store.put("/data/a", b"1")
+    store.put("/data/b", b"2")
+    store.put("/logs/c", b"3")
+    assert runtime.run(client.list_keys()) == [
+        "/data/a", "/data/b", "/logs/c",
+    ]
+    assert runtime.run(client.list_keys(prefix="/data")) == [
+        "/data/a", "/data/b",
+    ]
+
+
+def test_list_keys_malformed_response_is_typed():
+    runtime, client, app, store = object_world()
+    store.put("/", b"not json")  # shadows the listing endpoint? no --
+    # the listing route matches first, so break it differently: a
+    # client pointed at a WebDAV-less path that returns non-JSON.
+    bad = ObjectStoreClient(client.context, "http://server/")
+
+    def fake_listing():
+        # Drive list_keys against an endpooint that answers with a
+        # plain object body instead of the {"keys": ...} document.
+        data = yield from bad.file("data").read_all()
+        return data
+
+    store.put("/data", b"\xff\xfe not a listing")
+    # list_keys itself: patch the query off by calling the underlying
+    # URL directly -- simplest is to point base at a store where "/"
+    # with ?list=1 is intercepted; instead assert the parse guard.
+    import repro.core.objectclient as oc
+
+    class RawClient(oc.ObjectStoreClient):
+        def url_for(self, key):  # pragma: no cover - trivial
+            return super().url_for(key)
+
+    raw = RawClient(client.context, "http://server/")
+    original = oc.DavFile
+
+    with pytest.raises(HttpParseError):
+        def op():
+            keys = yield from raw.list_keys()
+            return keys
+
+        # Make the listing endpoint return garbage by removing every
+        # key, then shadowing the root: an empty store still returns
+        # valid JSON, so corrupt the parse input via a monkeypatched
+        # reader below.
+        class GarbageFile(original):
+            def read_all(self, sink=None):
+                return b"\xff\xfe not a listing"
+                yield  # pragma: no cover
+
+        oc.DavFile = GarbageFile
+        try:
+            runtime.run(op())
+        finally:
+            oc.DavFile = original
+
+
+def test_missing_key_raises_file_not_found():
+    runtime, client, app, store = object_world()
+    with pytest.raises(FileNotFound):
+        runtime.run(client.get_object("absent"))
+
+
+def test_page_cache_composes_with_object_backend():
+    params = RequestParams(
+        transfer=TransferConfig(page_cache_bytes=1 << 20, page_size=4096)
+    )
+    runtime, client, app, store = object_world(params=params)
+    store.put("/blob", BODY)
+    first = runtime.run(client.read_range("blob", 0, 8192))
+    second = runtime.run(client.read_range("blob", 0, 8192))
+    assert first == second == BODY[:8192]
+    assert client.context.page_cache.stats["hits"] >= 1
+    # Second read never touched the origin.
+    assert app.requests_handled == 1
+
+
+def test_fetcher_bridges_into_the_columnar_reader():
+    runtime, client, app, store = object_world()
+    arrays = {"a": bytes((i * 3) % 256 for i in range(400 * 4))}
+    blob = write_ntuple_file(
+        "t", arrays, n_entries=400, cluster_entries=100, page_bytes=256
+    )
+    store.put("/events.ntpl", blob)
+    reader = NTupleReader(client.fetcher("events.ntpl"))
+
+    def op():
+        yield from reader.open()
+        data = yield from reader.read_entries(0, 400, lanes=2)
+        return data
+
+    assert runtime.run(op()) == arrays
+
+
+def test_davix_client_facade_works_against_object_store():
+    """The plain DavixClient (no adapter) also speaks the dialect:
+    stat via HEAD, read via ranged GET."""
+    client_rt, server_rt = sim_world()
+    store = ObjectStore(clock=server_rt.now)
+    HttpServer(server_rt, FlatObjectApp(store), port=80).start()
+    store.put("/x", BODY)
+    client = DavixClient(client_rt)
+    assert client.stat("http://server/x").size == len(BODY)
+    assert client.pread("http://server/x", 10, 20) == BODY[10:30]
+    assert client.get("http://server/x") == BODY

@@ -5,8 +5,9 @@ these tests pin the contract: byte-identical results to sequential
 dispatch, unchanged round-trip accounting, the zero-copy ``copy_bytes``
 invariant (exactly one materialising copy per fragment), the
 ``vector.inflight`` gauge lifecycle, a real wall-clock win on a
-high-latency link, and the deprecation aliases for the pre-unification
-knobs (``vector_max_inflight`` / ``pread_vec(max_inflight=)``).
+high-latency link, and that the pre-unification legacy knobs
+(``vector_max_inflight`` / ``pread_vec(max_inflight=)``) are gone
+from the API surface.
 """
 
 import pytest
@@ -24,16 +25,11 @@ def reads_spread(count, length=512, stride=16_384):
     return [(i * stride, length) for i in range(count)]
 
 
-def world(max_inflight, latency=0.001, faults=None, retries=None, legacy=False):
-    knob = (
-        {"vector_max_inflight": max_inflight}
-        if legacy
-        else {"transfer": TransferConfig(max_inflight=max_inflight)}
-    )
+def world(max_inflight, latency=0.001, faults=None, retries=None):
     params = RequestParams(
         max_vector_ranges=4,
         vector_gap=0,
-        **knob,
+        transfer=TransferConfig(max_inflight=max_inflight),
         **({"retries": retries} if retries is not None else {}),
     )
     client, app, store, _ = davix_world(
@@ -104,50 +100,19 @@ def test_transfer_override_per_call():
 
 def test_inflight_validation():
     with pytest.raises(ValueError):
-        RequestParams(vector_max_inflight=0)
-    with pytest.raises(ValueError):
         TransferConfig(max_inflight=0)
 
 
-def test_deprecated_vector_max_inflight_warns_and_works():
-    """``RequestParams.vector_max_inflight`` keeps working for one
-    release but warns on use when no ``TransferConfig`` shadows it."""
-    reads = reads_spread(16)
-    client, app = world(max_inflight=4, legacy=True)
-    with pytest.warns(DeprecationWarning, match="vector_max_inflight"):
-        result = client.pread_vec("http://server/blob", reads)
-    assert result == [BLOB[o : o + n] for o, n in reads]
-    assert app.requests_handled == 4
-
-
-def test_deprecated_pread_vec_max_inflight_kwarg_warns():
-    reads = reads_spread(16)
-    client, app = world(max_inflight=1)
-    with pytest.warns(DeprecationWarning, match="max_inflight"):
-        client.pread_vec("http://server/blob", reads, max_inflight=4)
-    assert (
-        client.metrics().value("vector.parallel_dispatch_total") == 1
-    )
-    assert app.requests_handled == 4
-
-
-def test_transfer_config_silences_legacy_knob():
-    """An explicit TransferConfig shadows the deprecated field: no
-    warning even when both are set."""
-    import warnings
-
-    params = RequestParams(
-        max_vector_ranges=4,
-        vector_gap=0,
-        vector_max_inflight=2,
-        transfer=TransferConfig(max_inflight=4),
-    )
-    client, app, store, _ = davix_world(params=params)
-    store.put("/blob", BLOB)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        client.pread_vec("http://server/blob", reads_spread(16))
-    assert app.requests_handled == 4
+def test_legacy_knobs_are_gone():
+    """The one-release deprecation aliases were removed: the scattered
+    knobs now fail fast instead of warning."""
+    with pytest.raises(TypeError):
+        RequestParams(vector_max_inflight=4)
+    client, _ = world(max_inflight=1)
+    with pytest.raises(TypeError):
+        client.pread_vec(
+            "http://server/blob", reads_spread(4), max_inflight=4
+        )
 
 
 def test_parallel_beats_sequential_on_high_latency_link():

@@ -172,27 +172,13 @@ def test_inflight_flag_sets_transfer_config():
     assert client.context.params.effective_transfer().max_inflight == 1
 
 
-def test_deprecated_parallel_flags_warn_and_map():
-    from repro.cli import _client
-
-    args = build_parser().parse_args(["--parallel", "stats"])
-    with pytest.warns(DeprecationWarning, match="--inflight 4"):
-        client = _client(args)
-    assert client.context.params.effective_transfer().max_inflight == 4
-    assert client.context.params.multistream_max_streams == 4
-
-    args = build_parser().parse_args(["--max-inflight", "7", "stats"])
-    with pytest.warns(DeprecationWarning, match="--inflight N"):
-        client = _client(args)
-    assert client.context.params.effective_transfer().max_inflight == 7
-
-    # Explicit --inflight wins over the deprecated spellings.
-    args = build_parser().parse_args(
-        ["--inflight", "2", "--max-inflight", "7", "stats"]
-    )
-    with pytest.warns(DeprecationWarning):
-        client = _client(args)
-    assert client.context.params.effective_transfer().max_inflight == 2
+def test_deprecated_parallel_flags_removed():
+    """--parallel / --max-inflight finished their deprecation cycle;
+    the parser now rejects them outright."""
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--parallel", "stats"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--max-inflight", "7", "stats"])
 
 
 def test_main_reports_errors(live, capsys):
