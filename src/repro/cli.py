@@ -285,6 +285,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of requests that must meet it (default: 0.95)",
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="analyze collected cluster telemetry: assembled traces, "
+        "critical path and byte provenance",
+    )
+    trace.add_argument(
+        "telemetry",
+        help="path to a collector JSONL file ('-' for stdin)",
+    )
+    trace.add_argument(
+        "--diff",
+        metavar="OTHER",
+        help="compare aggregate critical paths against a second "
+        "telemetry file instead of summarizing",
+    )
+    trace.add_argument(
+        "--waterfall",
+        action="store_true",
+        help="also render the span waterfall of every assembled trace",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=3,
+        metavar="N",
+        help="traces detailed in the summary (default: 3)",
+    )
+
     return parser
 
 
@@ -610,6 +638,41 @@ def cmd_report(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_trace(args, out=sys.stdout) -> int:
+    """Analyze a collected telemetry artifact (or diff two of them)."""
+    from repro.obs.analyze import (
+        assemble_traces,
+        render_trace_diff,
+        render_trace_summary,
+        render_waterfall,
+    )
+    from repro.obs.collector import parse_records
+
+    def _read(path: str) -> str:
+        if path == "-":
+            return sys.stdin.read()
+        with open(path) as handle:
+            return handle.read()
+
+    records = parse_records(_read(args.telemetry))
+    if args.diff:
+        other = parse_records(_read(args.diff))
+        out.write(
+            render_trace_diff(
+                records,
+                other,
+                label_a=args.telemetry,
+                label_b=args.diff,
+            )
+        )
+        return 0
+    out.write(render_trace_summary(records, limit=args.limit))
+    if args.waterfall:
+        for tree in assemble_traces(records):
+            out.write("\n" + render_waterfall(tree))
+    return 0
+
+
 COMMANDS = {
     "get": cmd_get,
     "vec": cmd_vec,
@@ -623,6 +686,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "stats": cmd_stats,
     "report": cmd_report,
+    "trace": cmd_trace,
 }
 
 

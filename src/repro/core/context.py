@@ -190,6 +190,7 @@ class Context:
         events: Optional[EventLog] = None,
         slo: Optional[SloTracker] = None,
         transfer: Optional[TransferConfig] = None,
+        telemetry: Optional["TelemetrySink"] = None,
     ):
         self.params = params or RequestParams()
         if transfer is not None:
@@ -201,14 +202,24 @@ class Context:
         self.clock = clock or (lambda: 0.0)
         #: The metric registry every layer on this context records into.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Cluster-telemetry sink: when set, every finished span and
+        #: every wide event stream into it (cheap reference enqueues),
+        #: and :meth:`close` flushes the backlog deterministically.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.clock = self._now
         #: The span producer; follows ``self.clock`` even when that is
         #: reassigned later (DavixClient points it at the runtime).
         self.tracer = tracer if tracer is not None else Tracer(
-            clock=self._now
+            clock=self._now,
+            node=telemetry.node if telemetry is not None else None,
         )
         #: The wide-event log: one structured record per finished
         #: request (and whatever workloads append), exported as JSONL.
         self.events = events if events is not None else EventLog()
+        if telemetry is not None:
+            self.tracer.sink = telemetry.record_span
+            self.events.sink = telemetry.record_event
         #: Per-origin SLO / error-budget bookkeeping, fed by every
         #: terminal response on this context.
         self.slo = slo if slo is not None else SloTracker()
@@ -239,6 +250,7 @@ class Context:
         self._retry_rngs: Dict[int, random.Random] = {}
         #: origin -> expiry time of the blacklist entry.
         self._blacklist: Dict[Tuple, float] = {}
+        self._closed = False
         self.counters: Dict[str, int] = {
             "requests": 0,
             "redirects_followed": 0,
@@ -294,6 +306,32 @@ class Context:
             del self._blacklist[origin]
             return False
         return True
+
+    # -- telemetry flush ------------------------------------------------------
+
+    def flush_telemetry(self, target=None, final: bool = True):
+        """Drain the telemetry sink (if one is wired) to its collector.
+
+        ``final=True`` (the close-time default) first snapshots the
+        metric registry into the batch, so the collector's last
+        snapshot for this node carries the context's complete
+        counters. Flushing is deterministic — records encode in emit
+        order with canonical JSON — which is what keeps seeded chaos
+        runs byte-identical. Returns the encoded records (empty when
+        no sink is wired).
+        """
+        if self.telemetry is None:
+            return []
+        if final:
+            self.telemetry.record_metrics(self.metrics)
+        return self.telemetry.flush(target=target)
+
+    def close(self) -> None:
+        """Release held resources and flush telemetry (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush_telemetry()
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a legacy counter and its registry mirror.

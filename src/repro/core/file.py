@@ -287,7 +287,10 @@ class DavFile:
         )
         raise_for_status(response, self.url.path)
         if sink is not None:
-            return response.headers.get_int("Content-Length") or 0
+            streamed = response.headers.get_int("Content-Length") or 0
+            self._charge_delivery(0, streamed)
+            return streamed
+        self._charge_delivery(0, len(response.body))
         return response.body
 
     def write_all(self, data: bytes, content_type="application/octet-stream"):
@@ -338,9 +341,33 @@ class DavFile:
         if self._engine is not None:
             hit = yield from self._engine.read_single(offset, length)
             if hit is not None:
+                self._charge_delivery(0, len(hit))
                 return hit
         data = yield from self._pread_demand(offset, length)
         return data
+
+    # -- byte provenance ----------------------------------------------------
+
+    def _charge_delivery(self, cached: int, network: int) -> None:
+        """Attribute delivered payload bytes to their source.
+
+        Every byte a positional read hands back is charged to exactly
+        one of ``provenance.bytes_total{source=page-cache}`` (served
+        from the client page cache) or ``{source=network}`` (arrived
+        over the wire for this read) — the client half of the
+        cluster-wide byte-provenance ledger
+        (:func:`repro.obs.analyze.byte_provenance`). Delivered bytes
+        only: page-aligned overfetch is charged when (if ever) it is
+        later read back out of the cache.
+        """
+        if cached > 0:
+            self.context.metrics.counter(
+                "provenance.bytes_total", source="page-cache"
+            ).inc(cached)
+        if network > 0:
+            self.context.metrics.counter(
+                "provenance.bytes_total", source="network"
+            ).inc(network)
 
     # -- page-cache plumbing ------------------------------------------------
 
@@ -381,11 +408,16 @@ class DavFile:
         cache = self._pagecache
         data, missing = self._cache_probe(offset, length)
         if data is not None:
+            self._charge_delivery(len(data), 0)
             return data
         if self._engine is not None:
             hit = yield from self._engine.read_single(offset, length)
             if hit is not None:
+                self._charge_delivery(0, len(hit))
                 return hit
+        # Bytes already resident at probe time stay "page-cache" even
+        # though the read completes after the gap fill.
+        resident = length - sum(n for _, n in missing)
         # Fill only the missing page-aligned spans. The re-probe loop
         # tolerates an ETag change mid-fill (the insert invalidates,
         # widening the gaps) but gives up when filling stops making
@@ -395,6 +427,8 @@ class DavFile:
                 yield from self._fetch_spans(missing)
             data = cache.read(self._cache_key, offset, length)
             if data is not None:
+                cached = min(len(data), max(0, resident))
+                self._charge_delivery(cached, len(data) - cached)
                 return data
             again = cache.missing_spans(self._cache_key, offset, length)
             if again == missing:
@@ -520,6 +554,7 @@ class DavFile:
                     [(body_offset, response.body, total)],
                     response=response,
                 )
+            self._charge_delivery(0, len(response.body))
             return response.body
         # Server ignored the Range header: slice the full body.
         self._cache_insert(
@@ -527,7 +562,9 @@ class DavFile:
             [(0, response.body, len(response.body))],
             response=response,
         )
-        return response.body[offset : offset + length]
+        piece = response.body[offset : offset + length]
+        self._charge_delivery(0, len(piece))
+        return piece
 
     def pread_vec(self, reads: Sequence[Tuple[int, int]]):
         """Effect sub-op: vectored read -> list of bytes, input order.
@@ -572,6 +609,7 @@ class DavFile:
             return results
         if self._engine is not None:
             results = yield from self._engine.read_vec(reads)
+            self._charge_delivery(0, sum(len(r) for r in results))
             return results
         results = yield from self._pread_vec_demand(
             reads, transfer.max_inflight
@@ -594,6 +632,7 @@ class DavFile:
         started = self.context.clock()
         pending: List[int] = []
         spans: List[Tuple[int, int]] = []
+        resident: Dict[int, int] = {}
         for index, (offset, length) in enumerate(reads):
             if length == 0:
                 results[index] = b""
@@ -601,9 +640,11 @@ class DavFile:
             data, missing = cache.lookup(key, offset, length)
             if data is not None:
                 results[index] = data
+                self._charge_delivery(len(data), 0)
             else:
                 pending.append(index)
                 spans.extend(missing)
+                resident[index] = length - sum(n for _, n in missing)
         self.context.metrics.histogram(
             "request.phase_seconds", phase="cache-lookup"
         ).observe(self.context.clock() - started)
@@ -615,6 +656,7 @@ class DavFile:
             )
             for index, piece in zip(pending, pieces):
                 results[index] = piece
+                self._charge_delivery(0, len(piece))
             return results
         spans = _merge_spans(spans)
         for _ in range(3):
@@ -625,6 +667,10 @@ class DavFile:
                 data = cache.read(key, *reads[index])
                 if data is not None:
                     results[index] = data
+                    cached = min(
+                        len(data), max(0, resident.get(index, 0))
+                    )
+                    self._charge_delivery(cached, len(data) - cached)
                 else:
                     unresolved.append(index)
             pending = unresolved
@@ -719,7 +765,9 @@ class DavFile:
                     results.update(outcome.unwrap())
         finally:
             span.end()
-        return [results[i] for i in range(len(plan.fragments))]
+        pieces = [results[i] for i in range(len(plan.fragments))]
+        self._charge_delivery(0, sum(len(p) for p in pieces))
+        return pieces
 
     def _fetch_scatter(self, batch, parent_span, index: int):
         """Fetch one batch and scatter its fragments.

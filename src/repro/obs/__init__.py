@@ -15,6 +15,31 @@ in :mod:`repro.obs.window`, SLO/error-budget tracking in
 :mod:`repro.obs.slo`. See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.analyze import (
+    CriticalPath,
+    ProvenanceLedger,
+    SpanRecord,
+    TraceTree,
+    assemble_traces,
+    byte_provenance,
+    critical_path,
+    render_critical_path,
+    render_provenance,
+    render_trace_diff,
+    render_trace_summary,
+    render_waterfall,
+    stragglers,
+)
+from repro.obs.collector import (
+    TELEMETRY_CONTENT_TYPE,
+    TELEMETRY_PATH,
+    TelemetryCollector,
+    TelemetrySink,
+    parse_records,
+    push_telemetry,
+    record_to_json,
+    records_to_json_lines,
+)
 from repro.obs.events import (
     EventLog,
     event_to_json,
@@ -86,4 +111,25 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "render_span_tree",
     "spans_to_json_lines",
+    "TELEMETRY_PATH",
+    "TELEMETRY_CONTENT_TYPE",
+    "TelemetrySink",
+    "TelemetryCollector",
+    "parse_records",
+    "push_telemetry",
+    "record_to_json",
+    "records_to_json_lines",
+    "SpanRecord",
+    "TraceTree",
+    "CriticalPath",
+    "ProvenanceLedger",
+    "assemble_traces",
+    "critical_path",
+    "stragglers",
+    "byte_provenance",
+    "render_waterfall",
+    "render_critical_path",
+    "render_provenance",
+    "render_trace_summary",
+    "render_trace_diff",
 ]

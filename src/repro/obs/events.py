@@ -52,12 +52,17 @@ def parse_json_lines(text: str) -> List[Dict[str, object]]:
 
 
 class EventLog:
-    """Bounded ring of wide events (oldest dropped first)."""
+    """Bounded ring of wide events (oldest dropped first).
 
-    def __init__(self, capacity: int = 100_000):
+    ``sink`` is an optional callable invoked with each record as it is
+    emitted (see :class:`~repro.obs.collector.TelemetrySink`).
+    """
+
+    def __init__(self, capacity: int = 100_000, sink=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.sink = sink
         self._events: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self.total_events = 0
 
@@ -67,6 +72,8 @@ class EventLog:
         record.update(fields)
         self._events.append(record)
         self.total_events += 1
+        if self.sink is not None:
+            self.sink(record)
         return record
 
     def records(self) -> List[Dict[str, object]]:

@@ -26,6 +26,7 @@ Finished spans land in a bounded ring buffer; exporters in
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -44,6 +45,7 @@ class Span:
         "start",
         "end_time",
         "attrs",
+        "remote",
     )
 
     def __init__(
@@ -55,6 +57,7 @@ class Span:
         parent_id: Optional[int],
         start: float,
         attrs: Dict[str, object],
+        remote: bool = False,
     ):
         self.tracer = tracer
         self.name = name
@@ -64,6 +67,7 @@ class Span:
         self.start = start
         self.end_time: Optional[float] = None
         self.attrs = attrs
+        self.remote = remote
 
     def child(self, name: str, **attrs) -> "Span":
         """Start a child span explicitly parented to this one."""
@@ -118,6 +122,7 @@ class _NullSpan:
     attrs: Dict[str, object] = {}
     ended = False
     duration = None
+    remote = False
 
     def child(self, name: str, **attrs) -> "_NullSpan":
         return self
@@ -147,13 +152,36 @@ class Tracer:
     simulated timestamps. ``enabled=False`` makes ``start`` return the
     shared :data:`NULL_SPAN` — the instrumented request path stays
     branch-free while recording nothing.
+
+    ``node`` names the process this tracer runs in for cluster-wide
+    collection: IDs are minted inside a per-node namespace (the CRC32
+    of the name shifted above the sequence bits), so spans from
+    different nodes never collide when assembled into one trace tree.
+    Without a node the namespace is zero and IDs are the plain small
+    integers they always were. ``sink`` is an optional callable invoked
+    with each span as it finishes (see
+    :class:`~repro.obs.collector.TelemetrySink`).
     """
 
-    def __init__(self, clock=None, capacity: int = 10_000, enabled=True):
+    def __init__(
+        self,
+        clock=None,
+        capacity: int = 10_000,
+        enabled=True,
+        node: Optional[str] = None,
+        sink=None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.clock = clock or (lambda: 0.0)
         self.enabled = enabled
+        self.node = node
+        self.sink = sink
+        namespace = (
+            zlib.crc32(node.encode("utf-8")) & 0xFFFFFFFF if node else 0
+        )
+        self._span_ns = namespace << 32
+        self._trace_ns = namespace << 64
         self._finished: Deque[Span] = deque(maxlen=capacity)
         self._stack: List[Span] = []
         self._next_span_id = 1
@@ -181,7 +209,8 @@ class Tracer:
         """
         if not self.enabled:
             return NULL_SPAN
-        if remote is not None:
+        joined_remote = remote is not None
+        if joined_remote:
             trace_id = remote.trace_id
             parent_id = remote.span_id
         else:
@@ -190,7 +219,7 @@ class Tracer:
             if isinstance(parent, _NullSpan):
                 parent = None
             if parent is None:
-                trace_id = self._next_trace_id
+                trace_id = self._trace_ns | self._next_trace_id
                 self._next_trace_id += 1
                 parent_id = None
             else:
@@ -200,10 +229,11 @@ class Tracer:
             tracer=self,
             name=name,
             trace_id=trace_id,
-            span_id=self._next_span_id,
+            span_id=self._span_ns | self._next_span_id,
             parent_id=parent_id,
             start=self.clock(),
             attrs=dict(attrs),
+            remote=joined_remote,
         )
         self._next_span_id += 1
         self._stack.append(span)
@@ -220,6 +250,8 @@ class Tracer:
         except ValueError:
             pass
         self._finished.append(span)
+        if self.sink is not None:
+            self.sink(span)
 
     @property
     def current(self) -> Optional[Span]:

@@ -1,6 +1,7 @@
 """HTTP/WebDAV storage server (DPM-like) and DynaFed-like federator."""
 
 from repro.server.app import HttpServer, handle_connection, serve_forever
+from repro.server.collectorapp import CollectorApp
 from repro.server.faults import FaultAction, FaultPolicy
 from repro.server.accesslog import AccessEntry, AccessLog
 from repro.server.federation import FederationApp, ReplicaEntry
@@ -24,6 +25,7 @@ __all__ = [
     "HttpServer",
     "handle_connection",
     "serve_forever",
+    "CollectorApp",
     "FaultAction",
     "FaultPolicy",
     "FederationApp",

@@ -47,6 +47,26 @@ __all__ = ["serve_forever", "handle_connection", "HttpServer"]
 KEEPALIVE_IDLE = 30.0
 
 
+def _ingest_telemetry(collector, request: Request) -> ServedResponse:
+    """Store one ``POST /v1/telemetry`` JSONL batch in the mounted
+    collector; malformed lines fail the whole batch (400) so a sink
+    bug is loud instead of silently thinning the trace."""
+    from repro.http import Headers, Response
+
+    try:
+        accepted = collector.ingest_lines(
+            request.body.decode("utf-8", "strict")
+        )
+    except (ValueError, UnicodeDecodeError):
+        return ServedResponse(Response(400, reason="Bad Request"))
+    return ServedResponse(
+        Response(
+            204,
+            Headers([("X-Telemetry-Accepted", str(accepted))]),
+        )
+    )
+
+
 def serve_forever(listener, app: StorageApp):
     """Accept loop: one spawned handler per connection."""
     while True:
@@ -93,20 +113,27 @@ def handle_connection(channel, app: StorageApp):
                 )
             )
             started = yield Now()
-            # Metrics scrapes are pure observers: they get no span, no
-            # wide event and no access-log entry, so the series they
-            # expose are never perturbed by the act of reading them.
+            # Metrics scrapes and telemetry pushes are pure observers:
+            # they get no span, no wide event and no access-log entry,
+            # so the series and traces they carry are never perturbed
+            # by the act of reading or shipping them.
             scrape = (
                 request.method == "GET"
                 and config.metrics_path is not None
                 and request.path == config.metrics_path
             )
+            telemetry = (
+                request.method == "POST"
+                and config.collector is not None
+                and request.path == config.telemetry_path
+            )
+            observer = scrape or telemetry
             trace_ctx = parse_traceparent(
                 request.headers.get(TRACEPARENT_HEADER)
             )
             tracer = getattr(app, "tracer", None)
             span = None
-            if tracer is not None and not scrape:
+            if tracer is not None and not observer:
                 # Joined to the client's trace when a Traceparent
                 # header arrived; a fresh root trace otherwise.
                 span = tracer.start(
@@ -116,11 +143,22 @@ def handle_connection(channel, app: StorageApp):
                     method=request.method,
                     path=request.path,
                 )
-            result = app.handle(request)
+            if telemetry:
+                result = _ingest_telemetry(config.collector, request)
+            else:
+                result = app.handle(request)
             if result.deferred is not None:
-                # Deferred operations (e.g. third-party copy) do their
-                # own remote I/O before the response exists.
+                # Deferred operations (e.g. third-party copy, proxy
+                # gap fetches) do their own remote I/O before the
+                # response exists. Apps that trace that I/O (the
+                # proxy) read ``serving_span`` at the top of their
+                # deferred — before its first effect yield — so the
+                # hand-off is race-free on the cooperative runtime.
+                if hasattr(app, "serving_span"):
+                    app.serving_span = span
                 result.response = yield from result.deferred()
+                if hasattr(app, "serving_span"):
+                    app.serving_span = None
             if config.tls is not None:
                 # Record-layer crypto on the server's side.
                 result.service_time += config.tls.record_cost(
@@ -138,7 +176,7 @@ def handle_connection(channel, app: StorageApp):
             if span is not None:
                 span.end(status=status)
             events = getattr(app, "events", None)
-            if events is not None and not scrape:
+            if events is not None and not observer:
                 events.emit(
                     "request",
                     side="server",
@@ -152,7 +190,7 @@ def handle_connection(channel, app: StorageApp):
                     parent_span_id=parent_hex,
                 )
             access_log = getattr(app, "access_log", None)
-            if access_log is not None and not scrape:
+            if access_log is not None and not observer:
                 from repro.server.accesslog import AccessEntry
 
                 access_log.record(

@@ -48,6 +48,7 @@ class FlatObjectApp:
         store: ObjectStore,
         config: Optional[ServerConfig] = None,
         faults: Optional[FaultPolicy] = None,
+        metrics=None,
     ):
         self.store = store
         self.config = config or ServerConfig(
@@ -55,12 +56,36 @@ class FlatObjectApp:
         )
         self.faults = faults
         self.requests_handled = 0
+        #: Optional :class:`~repro.obs.MetricsRegistry`; same
+        #: per-method/per-status series the WebDAV app records, so
+        #: object-backend runs are not observability blind spots.
+        self.metrics = metrics
+        #: Optional :class:`~repro.server.accesslog.AccessLog` — the
+        #: serve loop records one entry per served request.
+        self.access_log = None
+        #: Optional :class:`~repro.obs.Tracer`: the serve loop starts a
+        #: ``server-request`` span per request, joined to the client's
+        #: trace when a ``Traceparent`` header arrives.
+        self.tracer = None
+        #: Optional :class:`~repro.obs.EventLog` for server-side wide
+        #: events (one per served request).
+        self.events = None
 
     # -- entry point --------------------------------------------------------
 
     def handle(self, request: Request) -> ServedResponse:
         """Compute the response for ``request`` (no I/O, no blocking)."""
+        if (
+            self.config.metrics_path is not None
+            and request.method == "GET"
+            and request.path == self.config.metrics_path
+        ):
+            return self._metrics_response()
         self.requests_handled += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "server.requests_total", method=request.method
+            ).inc()
         fault = (
             self.faults.next_action(request.path) if self.faults else None
         )
@@ -191,6 +216,31 @@ class FlatObjectApp:
         )
 
     # -- plumbing -----------------------------------------------------------
+
+    def _metrics_response(self) -> ServedResponse:
+        """The Prometheus text exposition of this app's registry."""
+        from repro.obs.export import (
+            PROMETHEUS_CONTENT_TYPE,
+            prometheus_exposition,
+        )
+
+        text = (
+            prometheus_exposition(self.metrics)
+            if self.metrics is not None
+            else ""
+        )
+        body = text.encode("utf-8")
+        headers = Headers(
+            [
+                ("Content-Type", PROMETHEUS_CONTENT_TYPE),
+                ("Content-Length", len(body)),
+            ]
+        )
+        served = ServedResponse(Response(200, headers, body))
+        served.response.headers.setdefault(
+            "Server", self.config.server_name
+        )
+        return served
 
     def _finish(self, request, served: ServedResponse) -> ServedResponse:
         served.response.headers.setdefault(

@@ -67,6 +67,14 @@ class ServerConfig:
     #: ``Cache-Control`` header attached to 200/206/304 GET and HEAD
     #: responses (e.g. ``"max-age=120"``); None = no header.
     cache_control: Optional[str] = None
+    #: Mounted :class:`~repro.obs.collector.TelemetryCollector`: the
+    #: connection loop ingests ``POST <telemetry_path>`` JSONL batches
+    #: into it (works for every app served by this config — storage,
+    #: proxy, flat-object, or a standalone collector node); None =
+    #: telemetry ingest disabled.
+    collector: Optional[object] = None
+    #: Mount path of the telemetry ingest endpoint.
+    telemetry_path: str = "/v1/telemetry"
     #: Default stream count for third-party copies (no
     #: ``X-Number-Of-Streams`` header on the COPY).
     tpc_streams: int = 4

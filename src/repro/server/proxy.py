@@ -54,6 +54,11 @@ from repro.http.ranges import (
     format_range_header,
     parse_content_range,
 )
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    format_trace_id,
+    parse_traceparent,
+)
 from repro.server.handlers import ServedResponse, ServerConfig
 
 __all__ = ["ProxyApp"]
@@ -113,6 +118,7 @@ class ProxyApp:
         default_ttl: float = 60.0,
         page_size: int = DEFAULT_PAGE_SIZE,
         metrics=None,
+        context=None,
     ):
         if cache_bytes < 0:
             raise ValueError("cache_bytes must be >= 0")
@@ -131,7 +137,22 @@ class ProxyApp:
         #: URLs the origin marked ``Cache-Control: no-store`` — always
         #: relayed, never written to the page store again.
         self._no_store: Set[str] = set()
-        self._context = None  # lazy davix context for upstream fetches
+        #: The davix context the proxy's upstream fetches run on.
+        #: Inject one (``context=``) to give the proxy a real clock, a
+        #: node-namespaced tracer and a telemetry sink; created lazily
+        #: (bare) otherwise.
+        self._context = context
+        #: Observability hooks the connection loop looks for, mirroring
+        #: :class:`~repro.server.handlers.StorageApp`.
+        self.tracer = context.tracer if context is not None else None
+        self.events = context.events if context is not None else None
+        self.access_log = None
+        #: The in-flight ``server-request`` span of the connection the
+        #: current deferred belongs to (set by the connection loop just
+        #: before it runs the deferred) — upstream fetch spans parent
+        #: to it so gap fetches sit *inside* the proxy hop in the
+        #: assembled trace.
+        self.serving_span = None
         self.stats = {
             "requests": 0,
             "hits": 0,
@@ -154,6 +175,11 @@ class ProxyApp:
                 _error(400, "proxy requires an absolute request URI")
             )
 
+        # The client's Traceparent: upstream fetches join this trace,
+        # so client -> proxy -> origin assembles into one tree.
+        trace_ctx = parse_traceparent(
+            request.headers.get(TRACEPARENT_HEADER)
+        )
         if (
             request.method != "GET"
             or self.cache_bytes <= 0
@@ -161,11 +187,14 @@ class ProxyApp:
         ):
             self.stats["bypassed"] += 1
             return ServedResponse(
-                Response(500), deferred=lambda: self._relay(request, target)
+                Response(500),
+                deferred=lambda: self._relay(request, target, trace_ctx),
             )
         return ServedResponse(
             Response(500),
-            deferred=lambda: self._cached_get(request, target),
+            deferred=lambda: self._cached_get(
+                request, target, trace_ctx
+            ),
         )
 
     # -- upstream operations ----------------------------------------------------
@@ -177,35 +206,101 @@ class ProxyApp:
             self._context = Context()
         return self._context
 
-    def _exchange(self, target: Url, upstream: Request):
+    def _exchange(self, target: Url, upstream: Request, parent=None):
         """Effect sub-op: one origin round trip (raises on network
         failure — callers decide between stale-serve and 502)."""
         from repro.core.request import execute_request
 
         response, _ = yield from execute_request(
-            self._client_context(), target, upstream
+            self._client_context(),
+            target,
+            upstream,
+            parent_span=parent,
         )
         return response
 
-    def _relay(self, request: Request, target: Url):
+    def _start_upstream(self, name, trace_ctx, serving, **attrs):
+        """Start a span for upstream work on the proxy's tracer.
+
+        Parented under the connection's live ``server-request`` span
+        when there is one — so gap fetches sit *inside* the proxy hop
+        in the assembled trace — else joined remotely to the client's
+        trace, else a fresh root. Returns ``None`` when tracing is off.
+        """
+        tracer = self._client_context().tracer
+        if tracer is None or not getattr(tracer, "enabled", True):
+            return None
+        if (
+            serving is not None
+            and getattr(serving, "span_id", 0)
+            and serving.end_time is None
+        ):
+            return tracer.start(name, parent=serving, **attrs)
+        if trace_ctx is not None:
+            return tracer.start(name, remote=trace_ctx, **attrs)
+        return tracer.start(name, root=True, **attrs)
+
+    def _emit_proxy_event(
+        self, ts, url, outcome, status, served, from_cache, trace_ctx
+    ):
+        """One ``kind="proxy"`` wide event per served request — the
+        byte-provenance analyzer splits delivered bytes into
+        cache-served vs origin-fetched from exactly these fields."""
+        if self.events is None:
+            return
+        self.events.emit(
+            "proxy",
+            ts=ts,
+            url=url,
+            outcome=outcome,
+            status=status,
+            served_bytes=max(0, served),
+            from_cache_bytes=max(0, min(served, from_cache)),
+            trace_id=(
+                format_trace_id(trace_ctx.trace_id)
+                if trace_ctx is not None
+                else ""
+            ),
+        )
+
+    def _relay(self, request: Request, target: Url, trace_ctx=None):
         """Effect sub-op: pass-through (non-cacheable) request."""
         from repro.errors import DavixError, NetworkError
 
+        serving = self.serving_span
         upstream = Request(
             method=request.method,
             target=target.target,
             headers=_strip_hop_headers(request.headers),
             body=request.body,
         )
+        span = self._start_upstream(
+            "relay", trace_ctx, serving, url=str(target)
+        )
         try:
-            response = yield from self._exchange(target, upstream)
+            response = yield from self._exchange(
+                target, upstream, parent=span
+            )
         except (DavixError, NetworkError) as exc:
+            if span is not None:
+                span.end(error=str(exc))
             return _error(502, f"upstream failed: {exc}")
+        if span is not None:
+            span.end(status=response.status)
+        self._emit_proxy_event(
+            getattr(span, "end_time", None) or 0.0,
+            str(target),
+            "BYPASS",
+            response.status,
+            len(response.body),
+            0,
+            trace_ctx,
+        )
         return _forwarded(response, cache_state="BYPASS")
 
     # -- the cached GET path ----------------------------------------------------
 
-    def _cached_get(self, request: Request, target: Url):
+    def _cached_get(self, request: Request, target: Url, trace_ctx=None):
         """Effect sub-op: serve a GET from pages, gaps, or the origin.
 
         The attempt loop tolerates ETag churn mid-fill — a gap fetch
@@ -215,6 +310,9 @@ class ProxyApp:
         from repro.concurrency import Now
         from repro.errors import DavixError, NetworkError
 
+        # Read before the first yield: the connection loop clears
+        # ``serving_span`` the moment the deferred returns.
+        serving = self.serving_span
         now = yield Now()
         url = str(target)
         outcome: Optional[str] = None
@@ -228,7 +326,7 @@ class ProxyApp:
                 aligned = self._cold_ranged_spans(request)
                 if aligned is None:
                     response = yield from self._fill_from_scratch(
-                        request, target, url, now
+                        request, target, url, now, trace_ctx, serving
                     )
                     return response
                 # Cold ranged request: fetch the page-aligned expansion
@@ -239,7 +337,7 @@ class ProxyApp:
                     saved_bytes = 0
                 try:
                     response = yield from self._fill_gaps(
-                        target, url, aligned, None, now
+                        target, url, aligned, None, now, trace_ctx, serving
                     )
                 except (DavixError, NetworkError) as exc:
                     return _error(502, f"upstream failed: {exc}")
@@ -247,7 +345,9 @@ class ProxyApp:
                     if response.status == 206:
                         # Undecodable 206 for the *expanded* ranges:
                         # relay the client's own request verbatim.
-                        response = yield from self._relay(request, target)
+                        response = yield from self._relay(
+                            request, target, trace_ctx
+                        )
                     return response
                 continue
 
@@ -267,6 +367,15 @@ class ProxyApp:
                 served = self._assemble(request, url, specs, outcome)
                 if served is not None:
                     self._account(outcome, saved_bytes)
+                    self._emit_proxy_event(
+                        now,
+                        url,
+                        outcome,
+                        served.status,
+                        sum(length for _, length in need),
+                        saved_bytes,
+                        trace_ctx,
+                    )
                     return served
                 continue  # pages raced away (eviction): re-plan
 
@@ -277,16 +386,33 @@ class ProxyApp:
                     target.target,
                     Headers([("If-None-Match", etag)]),
                 )
+                span = self._start_upstream(
+                    "revalidate", trace_ctx, serving, url=url
+                )
                 try:
-                    response = yield from self._exchange(target, upstream)
+                    response = yield from self._exchange(
+                        target, upstream, parent=span
+                    )
                 except (DavixError, NetworkError):
+                    if span is not None:
+                        span.end(error="unreachable")
                     served = self._assemble(request, url, specs, "STALE")
                     if served is not None:
-                        self._account(
-                            "STALE", sum(length for _, length in need)
+                        stale_bytes = sum(length for _, length in need)
+                        self._account("STALE", stale_bytes)
+                        self._emit_proxy_event(
+                            now,
+                            url,
+                            "STALE",
+                            served.status,
+                            stale_bytes,
+                            stale_bytes,
+                            trace_ctx,
                         )
                         return served
                     return _error(502, "upstream failed and cache incomplete")
+                if span is not None:
+                    span.end(status=response.status)
                 if response.status == 304:
                     meta.fresh_until = now + self._ttl_for(response)
                     outcome = "REVALIDATED"
@@ -308,7 +434,7 @@ class ProxyApp:
                 saved_bytes = max(0, covered)
             try:
                 response = yield from self._fill_gaps(
-                    target, url, missing, etag, now
+                    target, url, missing, etag, now, trace_ctx, serving
                 )
             except (DavixError, NetworkError):
                 return _error(502, "upstream failed and cache incomplete")
@@ -316,7 +442,9 @@ class ProxyApp:
                 if response.status == 206:
                     # Undecodable 206 for the gap ranges: relay the
                     # client's own request verbatim instead.
-                    response = yield from self._relay(request, target)
+                    response = yield from self._relay(
+                        request, target, trace_ctx
+                    )
                     return response
                 # A non-206/200 answer (e.g. the object vanished):
                 # forward it verbatim.
@@ -324,10 +452,13 @@ class ProxyApp:
 
         # Coverage never converged (budget too small for the request):
         # fall back to a verbatim relay so the client still gets bytes.
-        response = yield from self._relay(request, target)
+        response = yield from self._relay(request, target, trace_ctx)
         return response
 
-    def _fill_from_scratch(self, request: Request, target: Url, url, now):
+    def _fill_from_scratch(
+        self, request: Request, target: Url, url, now,
+        trace_ctx=None, serving=None,
+    ):
         """Effect sub-op: nothing cached — forward the request as-is
         and ingest whatever comes back."""
         from repro.errors import DavixError, NetworkError
@@ -335,17 +466,38 @@ class ProxyApp:
         upstream = Request(
             "GET", target.target, _strip_hop_headers(request.headers)
         )
+        span = self._start_upstream(
+            "origin-fetch", trace_ctx, serving, url=url
+        )
         try:
-            response = yield from self._exchange(target, upstream)
+            response = yield from self._exchange(
+                target, upstream, parent=span
+            )
         except (DavixError, NetworkError) as exc:
+            if span is not None:
+                span.end(error=str(exc))
             return _error(502, f"upstream failed: {exc}")
+        if span is not None:
+            span.end(status=response.status)
         if response.status in (200, 206):
             self._ingest(url, response, now)
             self.stats["misses"] += 1
+            self._emit_proxy_event(
+                now,
+                url,
+                "MISS",
+                response.status,
+                len(response.body),
+                0,
+                trace_ctx,
+            )
             return _forwarded(response, cache_state="MISS")
         return _forwarded(response, cache_state="UNCACHEABLE")
 
-    def _fill_gaps(self, target: Url, url, missing, etag, now):
+    def _fill_gaps(
+        self, target: Url, url, missing, etag, now,
+        trace_ctx=None, serving=None,
+    ):
         """Effect sub-op: fetch the missing spans as coalesced
         multi-range requests and ingest the parts.
 
@@ -354,39 +506,53 @@ class ProxyApp:
         makes a concurrent update come back as a full ``200`` — a
         coherent replacement instead of a cross-version mix.
         """
-        for start in range(0, len(missing), MAX_GAP_RANGES):
-            chunk = missing[start : start + MAX_GAP_RANGES]
-            headers = Headers(
-                [
-                    (
-                        "Range",
-                        format_range_header(
-                            [
-                                RangeSpec.from_offset_length(o, n)
-                                for o, n in chunk
-                            ]
-                        ),
-                    )
-                ]
-            )
-            if etag is not None:
-                headers.set("If-Range", etag)
-            upstream = Request("GET", target.target, headers)
-            response = yield from self._exchange(target, upstream)
-            if response.status in (200, 206):
-                if not self._ingest(url, response, now):
-                    return response  # undecodable: forward verbatim
-                if response.status == 200:
-                    return None  # whole object replaced: re-plan
-                continue
-            if response.status == 416:
-                # Our size is stale: drop the entry and re-plan from
-                # scratch on the next attempt.
-                self.pages.invalidate(url)
-                self._meta.pop(url, None)
-                return None
-            return response
-        return None
+        span = self._start_upstream(
+            "gap-fetch",
+            trace_ctx,
+            serving,
+            url=url,
+            spans=len(missing),
+            bytes=sum(n for _, n in missing),
+        )
+        try:
+            for start in range(0, len(missing), MAX_GAP_RANGES):
+                chunk = missing[start : start + MAX_GAP_RANGES]
+                headers = Headers(
+                    [
+                        (
+                            "Range",
+                            format_range_header(
+                                [
+                                    RangeSpec.from_offset_length(o, n)
+                                    for o, n in chunk
+                                ]
+                            ),
+                        )
+                    ]
+                )
+                if etag is not None:
+                    headers.set("If-Range", etag)
+                upstream = Request("GET", target.target, headers)
+                response = yield from self._exchange(
+                    target, upstream, parent=span
+                )
+                if response.status in (200, 206):
+                    if not self._ingest(url, response, now):
+                        return response  # undecodable: forward verbatim
+                    if response.status == 200:
+                        return None  # whole object replaced: re-plan
+                    continue
+                if response.status == 416:
+                    # Our size is stale: drop the entry and re-plan from
+                    # scratch on the next attempt.
+                    self.pages.invalidate(url)
+                    self._meta.pop(url, None)
+                    return None
+                return response
+            return None
+        finally:
+            if span is not None:
+                span.end()
 
     # -- ingestion & accounting -------------------------------------------------
 

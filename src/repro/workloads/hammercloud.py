@@ -98,6 +98,7 @@ class Campaign:
         base_seed: int = 42,
         materialize: bool = False,
         params: Optional[RequestParams] = None,
+        collector=None,
     ):
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
@@ -110,6 +111,12 @@ class Campaign:
         #: e.g. ``TransferConfig(page_cache_bytes=...)`` arms the client
         #: page cache, adding one ``cache`` event per repetition.
         self.params = params
+        #: Optional :class:`~repro.obs.TelemetryCollector`: when set,
+        #: every davix repetition's context wears a node-namespaced
+        #: :class:`~repro.obs.TelemetrySink` (and the in-sim storage
+        #: server gets one too), flushed here after each run — the
+        #: cluster-wide trace artifact ``davix-tool trace`` reads.
+        self.collector = collector
         #: Wide events accumulated across every cell run so far: the
         #: per-request events of each davix repetition (tagged with
         #: protocol/profile/repetition) plus one ``run`` summary event
@@ -132,12 +139,21 @@ class Campaign:
             )
             # Each davix repetition gets a fresh context so its event
             # log covers exactly one execution.
+            sink = None
+            if protocol == "davix" and self.collector is not None:
+                from repro.obs.collector import TelemetrySink
+
+                sink = TelemetrySink(
+                    f"client-{profile.name}-r{repetition}"
+                )
             context = (
-                Context(params=self.params)
+                Context(params=self.params, telemetry=sink)
                 if protocol == "davix"
                 else None
             )
-            report = run_scenario(scenario, context=context)
+            report = run_scenario(
+                scenario, context=context, collector=self.collector
+            )
             stats.reports.append(report)
             tags = {
                 "protocol": protocol,
@@ -157,6 +173,12 @@ class Campaign:
                     cache_event.update(context.page_cache.stats)
                     cache_event.update(tags)
                     self.events.append(cache_event)
+                scan_event = self._ntuple_event(context)
+                if scan_event is not None:
+                    scan_event.update(tags)
+                    self.events.append(scan_event)
+                if sink is not None:
+                    context.flush_telemetry(target=self.collector)
             run_event = {
                 "kind": "run",
                 "wall_seconds": report.wall_seconds,
@@ -185,13 +207,48 @@ class Campaign:
 
     # -- telemetry exports ----------------------------------------------------
 
+    @staticmethod
+    def _ntuple_event(context: Context) -> Optional[dict]:
+        """One ``ntuple`` wide event from the context's ``ntuple.*``
+        counters (columnar repetitions only — None otherwise)."""
+        snapshot = context.metrics.snapshot()
+        scan = {
+            key[len("ntuple."):]: value
+            for key, value in snapshot.items()
+            if key.startswith("ntuple.")
+        }
+        if not scan:
+            return None
+        event = {"kind": "ntuple"}
+        event.update(scan)
+        decode = snapshot.get(
+            "request.phase_seconds{phase=ntuple-decode}"
+        )
+        if isinstance(decode, tuple):
+            event["decode_seconds"] = decode[1]
+        return event
+
     def event_json_lines(self) -> str:
         """Every collected wide event as deterministic JSONL."""
         return events_to_json_lines(self.events)
 
+    def telemetry_json_lines(self) -> str:
+        """The collector's records as canonical JSONL ('' without a
+        collector)."""
+        if self.collector is None:
+            return ""
+        return self.collector.to_json_lines()
+
     def report(self, policy: Optional[SloPolicy] = None) -> str:
         """The HammerCloud-style run summary over the collected events."""
-        return render_report(self.events, policy=policy)
+        telemetry = (
+            self.collector.records()
+            if self.collector is not None
+            else None
+        )
+        return render_report(
+            self.events, policy=policy, telemetry=telemetry
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -235,6 +292,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--report-out", metavar="PATH",
         help="write the rendered run report here",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="collect cluster telemetry and write the assembled"
+        " span/event/metrics JSONL here (davix-tool trace reads it)",
+    )
     args = parser.parse_args(argv)
 
     from repro.rootio.generator import BranchSpec
@@ -252,14 +314,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=7,
     )
     config = AnalysisConfig()
+    collector = None
+    if args.trace_out:
+        from repro.obs.collector import TelemetryCollector
+
+        collector = TelemetryCollector()
     campaign = Campaign(
-        spec, config, repetitions=args.repetitions, base_seed=args.seed
+        spec, config, repetitions=args.repetitions,
+        base_seed=args.seed, collector=collector,
     )
     results = campaign.run_matrix(profiles, protocols=protocols)
     sys.stdout.write(results_to_csv(results))
     if args.events_out:
         with open(args.events_out, "w") as handle:
             handle.write(campaign.event_json_lines() + "\n")
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            lines = campaign.telemetry_json_lines()
+            handle.write(lines + "\n" if lines else "")
     report = campaign.report()
     if args.report_out:
         with open(args.report_out, "w") as handle:

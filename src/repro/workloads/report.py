@@ -139,6 +139,93 @@ def _cache_section(events: List[dict]) -> List[str]:
     return lines
 
 
+def _ntuple_section(events: List[dict]) -> List[str]:
+    """Per-cell columnar-scan counters summed over ``ntuple`` events."""
+    fields = (
+        "pages_fetched_total",
+        "bytes_fetched_total",
+        "clusters_decoded_total",
+        "checksum_failures_total",
+    )
+    cells: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for event in events:
+        key = (
+            str(event.get("protocol", "?")),
+            str(event.get("profile", "?")),
+        )
+        agg = cells.setdefault(
+            key, {field: 0 for field in fields + ("decode_seconds",)}
+        )
+        for field in fields:
+            agg[field] += int(event.get(field, 0))
+        agg["decode_seconds"] += float(event.get("decode_seconds", 0.0))
+    rows = []
+    for (protocol, profile), agg in sorted(cells.items()):
+        rows.append(
+            [protocol, profile]
+            + [str(int(agg[field])) for field in fields]
+            + [_fmt(agg["decode_seconds"])]
+        )
+    lines = ["Columnar scan (ntuple.* counters)"]
+    lines += _table(
+        ["protocol", "profile", "ntuple.pages_fetched",
+         "ntuple.bytes_fetched", "ntuple.clusters_decoded",
+         "ntuple.checksum_failures", "decode_seconds"],
+        rows,
+    )
+    return lines
+
+
+def _telemetry_section(records: List[dict]) -> List[str]:
+    """Collector rollup: per-node record counts, trace assembly health
+    and the top critical-path buckets across every assembled trace."""
+    from repro.obs.analyze import _aggregate_critical, assemble_traces
+
+    nodes: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        node = str(record.get("node", "?"))
+        kind = str(record.get("type", "?"))
+        per = nodes.setdefault(
+            node, {"span": 0, "event": 0, "metrics": 0}
+        )
+        if kind in per:
+            per[kind] += 1
+    lines = ["Cluster telemetry"]
+    rows = [
+        [node, str(per["span"]), str(per["event"]), str(per["metrics"])]
+        for node, per in sorted(nodes.items())
+    ]
+    lines += _table(["node", "spans", "events", "metrics"], rows)
+
+    trees = assemble_traces(records)
+    single = sum(1 for tree in trees if tree.is_single_tree)
+    orphans = sum(len(tree.orphans) for tree in trees)
+    lines.append(
+        f"  traces={len(trees)} single_tree={single}"
+        f" orphan_spans={orphans}"
+    )
+    buckets = _aggregate_critical(records)
+    total = sum(buckets.values())
+    if buckets:
+        top = sorted(
+            buckets.items(), key=lambda item: (-item[1], item[0])
+        )[:8]
+        lines.append("  Top critical-path buckets:")
+        lines += _table(
+            ["node", "bucket", "seconds", "share"],
+            [
+                [
+                    node,
+                    label,
+                    _fmt(width),
+                    f"{width / total * 100:.2f}%" if total else "-",
+                ]
+                for (node, label), width in top
+            ],
+        )
+    return lines
+
+
 def _tpc_section(events: List[dict]) -> List[str]:
     """Per-mode third-party-copy rollup over ``tpc`` events."""
     by_mode: Dict[str, List[dict]] = {}
@@ -215,15 +302,21 @@ def _slo_section(
 
 
 def render_report(
-    events: Iterable[dict], policy: Optional[SloPolicy] = None
+    events: Iterable[dict],
+    policy: Optional[SloPolicy] = None,
+    telemetry: Optional[Iterable[dict]] = None,
 ) -> str:
     """The HammerCloud-style run summary for an event log.
 
     ``events`` is any iterable of wide-event dicts (parsed JSONL);
     ``run`` events feed the execution table, client-side ``request``
     events feed the phase breakdown and the SLO verdicts, ``cache``
-    events (page-cache-armed campaigns) feed the cache counters, and
-    ``tpc`` events feed the third-party-copy rollup.
+    events (page-cache-armed campaigns) feed the cache counters,
+    ``ntuple`` events (columnar campaigns) feed the scan counters, and
+    ``tpc`` events feed the third-party-copy rollup. ``telemetry`` is
+    an optional list of collector records
+    (:meth:`~repro.obs.TelemetryCollector.records`) rendered as the
+    cluster-telemetry section.
     Sections with no events are omitted; an empty log renders a single
     stub line.
     """
@@ -244,9 +337,15 @@ def render_report(
     caches = [e for e in events if e.get("kind") == "cache"]
     if caches:
         sections.append(_cache_section(caches))
+    scans = [e for e in events if e.get("kind") == "ntuple"]
+    if scans:
+        sections.append(_ntuple_section(scans))
     copies = [e for e in events if e.get("kind") == "tpc"]
     if copies:
         sections.append(_tpc_section(copies))
+    telemetry = list(telemetry) if telemetry is not None else []
+    if telemetry:
+        sections.append(_telemetry_section(telemetry))
     title = "HammerCloud run report"
     lines = [title, "=" * len(title)]
     if not sections:

@@ -73,14 +73,20 @@ class Scenario:
 
 
 def run_scenario(
-    scenario: Scenario, context: Optional[Context] = None
+    scenario: Scenario,
+    context: Optional[Context] = None,
+    collector=None,
 ) -> AnalysisReport:
     """Execute one scenario in a fresh simulated world.
 
     ``context`` lets the caller supply a pre-composed
     :class:`~repro.core.context.Context` (a metric registry to inspect
     afterwards, a breaker config); the runner still rebinds its clock to
-    the fresh simulation. Davix protocol only.
+    the fresh simulation. ``collector`` (a
+    :class:`~repro.obs.TelemetryCollector`) arms the storage server
+    with a node-namespaced tracer and event log whose records are
+    flushed into it after the run, so server-side spans join the
+    client's traces in the assembled artifact. Both davix-only.
     """
     env = Environment()
     net = build_network(scenario.profile, env, seed=scenario.seed)
@@ -112,6 +118,16 @@ def run_scenario(
             if scenario.backend == "object"
             else StorageApp(store, faults=scenario.faults)
         )
+        server_sink = None
+        if collector is not None:
+            from repro.obs import EventLog, Tracer
+            from repro.obs.collector import TelemetrySink
+
+            server_sink = TelemetrySink("server", clock=server_rt.now)
+            app.tracer = Tracer(clock=server_rt.now, node="server")
+            app.tracer.sink = server_sink.record_span
+            app.events = EventLog()
+            app.events.sink = server_sink.record_event
         HttpServer(server_rt, app, port=80).start()
         if context is None:
             context = Context(params=scenario.params)
@@ -127,6 +143,8 @@ def run_scenario(
                 meta=meta,
             )
         )
+        if server_sink is not None:
+            server_sink.flush(target=collector)
     else:
         if context is not None or scenario.faults is not None:
             raise ValueError(

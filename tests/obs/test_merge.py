@@ -85,3 +85,34 @@ def test_merge_is_associative_enough_for_fanin():
         total.merge(shard)
     assert total.value("n") == 6
     assert total.get("lat").count == 3
+
+
+def test_same_name_disjoint_label_sets_keep_their_own_buckets():
+    # Two shards bucket the same histogram name differently under
+    # *disjoint* label sets: no collision, each series keeps its
+    # bounds (the bounds check only guards same-labels merges).
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.histogram("lat", buckets=(0.1, 1.0), shard="a").observe(0.05)
+    right.histogram("lat", buckets=(0.5,), shard="b").observe(0.25)
+    left.merge(right)
+    assert left.get("lat", shard="a").buckets == (0.1, 1.0)
+    assert left.get("lat", shard="b").buckets == (0.5,)
+    assert left.get("lat", shard="a").count == 1
+    assert left.get("lat", shard="b").count == 1
+
+
+def test_disjoint_bucket_histograms_merge_when_labels_differ_twice():
+    # Fan-in over three shards, each with its own bounds + labels:
+    # merge is label-set-scoped, so all three series survive intact.
+    total = MetricsRegistry()
+    for shard, bounds in (("a", (0.1,)), ("b", (0.2,)), ("c", (0.4,))):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "io.seconds", buckets=bounds, shard=shard
+        ).observe(0.05)
+        total.merge(registry)
+    for shard, bounds in (("a", (0.1,)), ("b", (0.2,)), ("c", (0.4,))):
+        series = total.get("io.seconds", shard=shard)
+        assert series.buckets == bounds
+        assert series.count == 1

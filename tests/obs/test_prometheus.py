@@ -101,3 +101,55 @@ def test_window_exposition():
         "server_window_sum 50.55\n"
         "server_window_count 3\n"
     )
+
+
+def test_quote_only_label_value_escapes_each_quote():
+    registry = MetricsRegistry()
+    registry.counter("c", q='"""').inc()
+    assert 'c{q="\\"\\"\\""} 1' in prometheus_exposition(registry)
+
+
+def test_backslash_only_label_value_doubles_each_backslash():
+    registry = MetricsRegistry()
+    registry.counter("c", p="\\\\").inc()
+    assert 'c{p="\\\\\\\\"} 1' in prometheus_exposition(registry)
+
+
+def test_trailing_backslash_does_not_swallow_the_closing_quote():
+    registry = MetricsRegistry()
+    registry.counter("c", p="dir\\").inc()
+    line = next(
+        ln for ln in prometheus_exposition(registry).splitlines()
+        if ln.startswith("c{")
+    )
+    assert line == 'c{p="dir\\\\"} 1'
+
+
+def test_newline_label_values_stay_on_one_exposition_line():
+    registry = MetricsRegistry()
+    registry.counter("c", msg="a\nb\nc").inc()
+    registry.counter("d").inc()
+    out = prometheus_exposition(registry)
+    assert 'c{msg="a\\nb\\nc"} 1' in out
+    # The raw newlines never leak: every line is a comment or sample.
+    for line in out.strip().splitlines():
+        assert line.startswith("# TYPE") or " " in line
+
+
+def test_empty_registry_scrape_over_http_is_a_valid_empty_page():
+    from repro.obs import MetricsRegistry as Registry
+    from repro.server import ServerConfig
+    from tests.helpers import davix_world, get, one_request
+
+    client, app, _, _ = davix_world(
+        config=ServerConfig(metrics_path="/metrics")
+    )
+    app.metrics = Registry()
+    response = client.runtime.run(
+        one_request(("server", 80), get("/metrics"))
+    )
+    assert response.status == 200
+    assert response.headers.get("Content-Type") == (
+        PROMETHEUS_CONTENT_TYPE
+    )
+    assert response.body == b""

@@ -226,3 +226,92 @@ def test_fault_slow_and_reset_decorate_the_response():
     reset = app_with(faults=ScriptedFaults([FaultAction("reset")]))[0]
     served = reset.handle(req("GET", "/data/blob"))
     assert served.reset_midway
+
+
+# -- observability parity ---------------------------------------------------
+
+
+def observable_flat_world():
+    """FlatObjectApp behind a real sim server, fully instrumented —
+    the same kit StorageApp wears (access log, tracer, events,
+    metrics endpoint)."""
+    from repro.concurrency import SimRuntime
+    from repro.core import DavixClient, RequestParams
+    from repro.net import LinkSpec, Network
+    from repro.obs import EventLog, MetricsRegistry, Tracer
+    from repro.server import AccessLog, HttpServer
+    from repro.sim import Environment
+
+    env = Environment()
+    net = Network(env, seed=7)
+    net.add_host("client")
+    net.add_host("server")
+    net.set_route(
+        "client", "server",
+        LinkSpec(latency=0.001, bandwidth=125_000_000),
+    )
+    server_rt = SimRuntime(net, "server")
+    store = ObjectStore()
+    store.put("/data/blob", BODY)
+    app = FlatObjectApp(
+        store,
+        config=ServerConfig(metrics_path="/metrics"),
+        metrics=MetricsRegistry(),
+    )
+    app.tracer = Tracer(clock=server_rt.now, node="flat")
+    app.events = EventLog()
+    app.access_log = AccessLog(metrics=app.metrics)
+    HttpServer(server_rt, app, port=80).start()
+    client = DavixClient(
+        SimRuntime(net, "client"), params=RequestParams(retries=0)
+    )
+    return client, app
+
+
+def test_flat_app_joins_client_traces_and_logs_access():
+    from repro.obs import format_trace_id
+
+    client, app = observable_flat_world()
+    assert client.get("http://server/data/blob") == BODY
+
+    (span,) = app.tracer.by_name("server-request")
+    client_span = client.tracer().by_name("request")[0]
+    assert format_trace_id(span.trace_id) == format_trace_id(
+        client_span.trace_id
+    )
+    (entry,) = app.access_log.entries
+    assert entry.status == 200
+    assert entry.method == "GET"
+
+
+def test_flat_app_counts_requests_and_serves_prometheus():
+    from tests.helpers import get, one_request
+
+    client, app = observable_flat_world()
+    client.get("http://server/data/blob")
+    client.stat("http://server/data/blob")
+
+    response = client.runtime.run(
+        one_request(("server", 80), get("/metrics"))
+    )
+    assert response.status == 200
+    body = response.body.decode("utf-8")
+    assert 'server_requests_total{method="GET"} 1' in body
+    assert 'server_requests_total{method="HEAD"} 1' in body
+    # The scrape is an observer: no span, no access-log entry for it.
+    assert len(app.tracer.by_name("server-request")) == 2
+    assert app.access_log.total_requests == 2
+
+
+def test_flat_app_ships_spans_into_a_telemetry_sink():
+    from repro.obs.collector import TelemetryCollector, TelemetrySink
+
+    client, app = observable_flat_world()
+    collector = TelemetryCollector()
+    sink = TelemetrySink("flat", target=collector)
+    app.tracer.sink = sink.record_span
+    app.events.sink = sink.record_event
+    client.get("http://server/data/blob")
+    sink.flush()
+    assert [r["node"] for r in collector.spans()] == ["flat"]
+    assert collector.spans()[0]["name"] == "server-request"

@@ -282,3 +282,64 @@ def test_cli_get_through_proxy():
             assert proxy_app.stats["misses"] == 1
         finally:
             proxy.stop()
+
+
+def trace_artifact(tmp_path, name="trace.jsonl", scale=1.0):
+    """A two-node artifact in canonical JSONL, written to disk."""
+    import json
+
+    trace = "0" * 24 + "deadbeef"
+    records = [
+        {"type": "span", "node": "client", "name": "request",
+         "trace": trace, "span": "a1", "parent": None,
+         "remote": False, "start": 0.0, "end": 1.0 * scale,
+         "attrs": {}},
+        {"type": "span", "node": "server", "name": "server-request",
+         "trace": trace, "span": "b2", "parent": "a1",
+         "remote": True, "start": 0.2, "end": 0.8 * scale,
+         "attrs": {}},
+        {"type": "metrics", "node": "client", "ts": 1.0,
+         "series": {
+             "provenance.bytes_total{source=network}": 4096,
+             "provenance.bytes_total{source=page-cache}": 1024,
+         }},
+    ]
+    path = tmp_path / name
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+    )
+    return str(path)
+
+
+def test_cli_trace_summarizes_an_artifact(tmp_path):
+    path = trace_artifact(tmp_path)
+    code, output = run_cli(["trace", path])
+    assert code == 0
+    assert (
+        "collected 3 records, 1 trace(s) (1 single-tree,"
+        " 0 orphan span(s)) from nodes: client, server" in output
+    )
+    assert "critical path" in output
+    assert "byte provenance  total delivered=5120" in output
+    assert "server-request" in output
+    assert output.endswith("\n")
+
+
+def test_cli_trace_waterfall_flag_renders_every_tree(tmp_path):
+    path = trace_artifact(tmp_path)
+    _, plain = run_cli(["trace", path])
+    _, with_waterfall = run_cli(["trace", path, "--waterfall"])
+    assert with_waterfall.count("server:server-request") >= plain.count(
+        "server:server-request"
+    )
+
+
+def test_cli_trace_diff_compares_two_artifacts(tmp_path):
+    base = trace_artifact(tmp_path, "a.jsonl", scale=1.0)
+    slower = trace_artifact(tmp_path, "b.jsonl", scale=2.0)
+    code, output = run_cli(["trace", base, "--diff", slower])
+    assert code == 0
+    assert "a.jsonl" in output and "b.jsonl" in output
+    assert output.endswith("\n")
+    # The slowed-down artifact moves the compared buckets.
+    assert "request" in output

@@ -177,3 +177,86 @@ def test_event_json_lines_roundtrip():
     assert len(parsed) == len(campaign.events)
     kinds = {event["kind"] for event in parsed}
     assert kinds == {"run", "request"}
+
+
+def test_collector_armed_campaign_reports_cluster_telemetry():
+    """A campaign wearing a TelemetryCollector grows the cluster
+    telemetry section: per-node record counts, trace-assembly health
+    and the top critical-path buckets."""
+    from repro.obs.collector import TelemetryCollector
+
+    collector = TelemetryCollector()
+    campaign = Campaign(
+        spec=tiny_spec(),
+        config=fast_cfg(),
+        repetitions=2,
+        base_seed=42,
+        collector=collector,
+    )
+    campaign.run_matrix([PROFILES["lan"]], protocols=("davix",))
+    assert len(collector) > 0
+    report = campaign.report()
+    assert "Cluster telemetry" in report
+    assert "orphan_spans=0" in report
+    assert "Top critical-path buckets:" in report
+    # Client sinks are per (profile, repetition); the server reports
+    # under its own node name.
+    for node in ("client-lan-r0", "client-lan-r1", "server"):
+        assert node in report
+    # Without a collector the section never appears (goldens stable).
+    assert "Cluster telemetry" not in run_campaign(
+        repetitions=1
+    ).report()
+
+
+def test_ntuple_campaign_reports_columnar_scan_counters():
+    """A columnar (ntuple-format) campaign with a collector emits one
+    ``ntuple`` event per repetition and the report grows the scan
+    section; basket-format campaigns never do."""
+    from repro.obs.collector import TelemetryCollector
+    from repro.workloads import AnalysisConfig
+
+    campaign = Campaign(
+        spec=tiny_spec(),
+        config=AnalysisConfig(
+            per_event_cpu=0.0002, learn_entries=0, format="ntuple"
+        ),
+        repetitions=2,
+        base_seed=42,
+        collector=TelemetryCollector(),
+    )
+    campaign.run_matrix([PROFILES["lan"]], protocols=("davix",))
+    scans = [e for e in campaign.events if e["kind"] == "ntuple"]
+    assert len(scans) == 2  # one per repetition
+    for event in scans:
+        assert event["pages_fetched_total"] > 0
+        assert event["bytes_fetched_total"] > 0
+        assert event["clusters_decoded_total"] > 0
+        assert event["decode_seconds"] > 0.0
+    report = campaign.report()
+    assert "Columnar scan (ntuple.* counters)" in report
+    assert "ntuple.pages_fetched" in report
+    assert "Columnar scan" not in run_campaign(repetitions=1).report()
+
+
+def test_collector_campaign_artifact_is_deterministic():
+    """Two seeded repeats of a collector-armed campaign export
+    byte-identical telemetry JSONL (the CI artifact property)."""
+    from repro.obs.collector import TelemetryCollector
+
+    def run():
+        campaign = Campaign(
+            spec=tiny_spec(),
+            config=fast_cfg(),
+            repetitions=2,
+            base_seed=42,
+            collector=TelemetryCollector(),
+        )
+        campaign.run_matrix([PROFILES["lan"]], protocols=("davix",))
+        return campaign
+
+    first, second = run(), run()
+    artifact = first.telemetry_json_lines()
+    assert artifact
+    assert artifact == second.telemetry_json_lines()
+    assert first.report() == second.report()
